@@ -1,0 +1,65 @@
+"""Figure 4 — the QGM graph for query D before and after phases 1, 2 and 3
+(the figure's four quadrants).
+
+Emits the box inventory of each quadrant and asserts the figure's shape
+claims: phase 1 shrinks the graph by merging, phase 2 adds the magic /
+supplementary scaffolding, phase 3 leaves exactly one extra box and one
+extra join over the phase-1 graph.
+"""
+
+from __future__ import annotations
+
+from repro.qgm import build_query_graph, graph_summary
+from repro.sql import parse_statement
+from repro.rewrite import RewriteEngine, default_rules
+from repro.optimizer import optimize_graph
+from repro.optimizer.heuristic import _clear_magic_links
+from repro.workloads.empdept import PAPER_QUERY_SQL
+
+from benchmarks.conftest import write_result
+
+
+def _quadrants(db):
+    quadrants = {}
+    graph = build_query_graph(parse_statement(PAPER_QUERY_SQL), db.catalog)
+    quadrants["initial"] = (graph.summary_counts(), graph_summary(graph))
+
+    engine = RewriteEngine(default_rules(include_emst=True))
+    context = engine.run_phase(graph, 1)
+    quadrants["after phase 1"] = (graph.summary_counts(), graph_summary(graph))
+
+    plan = optimize_graph(graph, db.catalog)
+    context = engine.run_phase(graph, 2, join_orders=plan.join_orders, context=context)
+    quadrants["after phase 2"] = (graph.summary_counts(), graph_summary(graph))
+
+    _clear_magic_links(graph)
+    engine.run_phase(graph, 3, context=context)
+    quadrants["after phase 3"] = (graph.summary_counts(), graph_summary(graph))
+    return quadrants
+
+
+def test_figure4_four_quadrants(benchmark, paper_connection):
+    db = paper_connection.database
+    quadrants = benchmark(lambda: _quadrants(db))
+
+    lines = ["Figure 4: query D through the rewrite phases", ""]
+    for name in ("initial", "after phase 1", "after phase 2", "after phase 3"):
+        counts, summary = quadrants[name]
+        lines.append("%-15s %s" % (name + ":", summary))
+    output = "\n".join(lines)
+    print("\n" + output)
+    write_result("figure4.txt", output)
+
+    initial = quadrants["initial"][0]
+    phase1 = quadrants["after phase 1"][0]
+    phase2 = quadrants["after phase 2"][0]
+    phase3 = quadrants["after phase 3"][0]
+
+    # Phase 1 merges boxes away (upper-left -> upper-right).
+    assert phase1[0] < initial[0]
+    # Phase 2 adds magic/supplementary boxes (lower-left quadrant).
+    assert phase2[0] > phase1[0]
+    # Phase 3 simplifies back to one extra box and one extra join.
+    assert phase3[0] == phase1[0] + 1
+    assert phase3[2] == phase1[2] + 1
+    assert phase3[0] < phase2[0]

@@ -1,0 +1,76 @@
+"""Figure 5 — the SQL statements for query D before and after optimization
+by EMST.
+
+Renders the QGM graph back to SQL at each stage and checks the statement
+inventory against the figure: the original query is three statements
+(D0–D2), the phase-2 graph adds the supplementary and two magic statements
+(SD0–SD5), and phase 3 eliminates the two magic statements (SD3/SD4),
+merging them into SD2'.
+"""
+
+from __future__ import annotations
+
+from repro.qgm import build_query_graph
+from repro.qgm.to_sql import graph_to_sql
+from repro.sql import parse_statement
+from repro.rewrite import RewriteEngine, default_rules
+from repro.optimizer import optimize_graph
+from repro.optimizer.heuristic import _clear_magic_links
+from repro.workloads.empdept import PAPER_QUERY_SQL
+
+from benchmarks.conftest import write_result
+
+
+def _stages(db):
+    stages = {}
+    graph = build_query_graph(parse_statement(PAPER_QUERY_SQL), db.catalog)
+    stages["original"] = graph_to_sql(graph)
+
+    engine = RewriteEngine(default_rules(include_emst=True))
+    context = engine.run_phase(graph, 1)
+    stages["after phase 1"] = graph_to_sql(graph)
+
+    plan = optimize_graph(graph, db.catalog)
+    context = engine.run_phase(graph, 2, join_orders=plan.join_orders, context=context)
+    stages["after phase 2 (EMST)"] = graph_to_sql(graph)
+
+    _clear_magic_links(graph)
+    engine.run_phase(graph, 3, context=context)
+    stages["after phase 3"] = graph_to_sql(graph)
+    return stages
+
+
+def test_figure5_sql_listings(benchmark, paper_connection):
+    db = paper_connection.database
+    stages = benchmark(lambda: _stages(db))
+
+    lines = ["Figure 5: SQL before and after optimization by EMST"]
+    for name in ("original", "after phase 1", "after phase 2 (EMST)", "after phase 3"):
+        lines.append("")
+        lines.append("-- %s (%d statements)" % (name, len(stages[name])))
+        for statement in stages[name]:
+            lines.append("   %s" % statement)
+    output = "\n".join(lines)
+    print("\n" + output)
+    write_result("figure5.txt", output)
+
+    original = stages["original"]
+    phase2 = stages["after phase 2 (EMST)"]
+    phase3 = stages["after phase 3"]
+
+    # D0-D2 map to 5 statements in QGM form (the groupby triplet splits D1).
+    assert len(original) == 5
+    # Phase 2 adds the supplementary box and two magic boxes (SD0-SD5).
+    assert len(phase2) == len(stages["after phase 1"]) + 3
+    text2 = "\n".join(phase2)
+    assert "SM_" in text2
+    assert "MG" in text2
+    # Phase 3 eliminates the two magic statements (SD3/SD4 merged away);
+    # only the supplementary statement survives.
+    assert len(phase3) == len(phase2) - 2
+    text3 = "\n".join(phase3)
+    assert "SM_" in text3
+    assert "MG" not in text3
+    # SD2': the view now reads the supplementary box directly.
+    t1_statements = [s for s in phase3 if s.startswith("T1")]
+    assert t1_statements and "SM_" in t1_statements[0]

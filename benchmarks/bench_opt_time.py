@@ -1,0 +1,107 @@
+"""§3.2 optimization-time argument.
+
+The naive way to combine magic with cost-based join ordering is to apply
+EMST once per candidate join order of a box and plan every alternative —
+the paper's O(2^n) plan-optimizer invocations. The Starburst heuristic
+invokes the plan optimizer exactly twice. This bench measures both
+optimization times and invocation counts as the number of joined tables
+grows, reproducing the blow-up the paper argues against.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import Database
+from repro.qgm import build_query_graph
+from repro.sql import parse_statement
+from repro.optimizer.heuristic import (
+    optimize_exhaustive_emst,
+    optimize_with_heuristic,
+)
+
+from benchmarks.conftest import write_result
+
+
+def _chain_database(n_tables, rows_per_table=40):
+    db = Database()
+    for index in range(n_tables):
+        db.create_table(
+            "t%d" % index,
+            ["id", "fk", "val"],
+            primary_key=["id"],
+            rows=[(i, (i + 1) % rows_per_table, i) for i in range(rows_per_table)],
+        )
+    db.catalog.add_view(
+        parse_statement(
+            "CREATE VIEW agg0 (id, total) AS "
+            "SELECT fk, SUM(val) FROM t0 GROUP BY fk"
+        )
+    )
+    return db
+
+
+def _chain_query(n_tables):
+    tables = ", ".join("t%d x%d" % (i, i) for i in range(1, n_tables))
+    joins = " AND ".join(
+        "x%d.fk = x%d.id" % (i, i + 1) for i in range(1, n_tables - 1)
+    )
+    sql = "SELECT v.total FROM agg0 v, %s WHERE v.id = x1.id" % tables
+    if joins:
+        sql += " AND " + joins
+    return sql
+
+
+def test_optimization_time_heuristic_vs_exhaustive(benchmark):
+    lines = [
+        "Optimization time: the 3.2 heuristic (2 plan passes) vs",
+        "exhaustive per-join-order EMST (one plan pass per permutation)",
+        "",
+        "%-3s %16s %16s %12s %12s"
+        % ("n", "heuristic (s)", "exhaustive (s)", "h-invocs", "x-invocs"),
+    ]
+    series = []
+    for n_tables in (3, 4, 5):
+        db = _chain_database(n_tables)
+        sql = _chain_query(n_tables)
+
+        started = time.perf_counter()
+        graph = build_query_graph(parse_statement(sql), db.catalog)
+        heuristic = optimize_with_heuristic(graph, db.catalog)
+        heuristic_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        graph = build_query_graph(parse_statement(sql), db.catalog)
+        _, invocations = optimize_exhaustive_emst(graph, db.catalog)
+        exhaustive_seconds = time.perf_counter() - started
+
+        series.append(
+            (n_tables, heuristic_seconds, exhaustive_seconds,
+             heuristic.optimizer_invocations, invocations)
+        )
+        lines.append(
+            "%-3d %16.4f %16.4f %12d %12d"
+            % (n_tables, heuristic_seconds, exhaustive_seconds,
+               heuristic.optimizer_invocations, invocations)
+        )
+
+    def measure_largest():
+        db = _chain_database(5)
+        sql = _chain_query(5)
+        graph = build_query_graph(parse_statement(sql), db.catalog)
+        return optimize_with_heuristic(graph, db.catalog)
+
+    benchmark(measure_largest)
+
+    output = "\n".join(lines)
+    print("\n" + output)
+    write_result("opt_time.txt", output)
+
+    # Invocation counts: always 2 for the heuristic, factorial growth for
+    # the exhaustive strategy.
+    for n_tables, _, _, h_invocations, x_invocations in series:
+        assert h_invocations == 2
+        assert x_invocations > h_invocations
+    assert series[-1][4] > series[0][4]  # the blow-up grows with n
+    # Exhaustive optimization is much slower at the largest size.
+    assert series[-1][2] > series[-1][1]

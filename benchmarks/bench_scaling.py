@@ -1,0 +1,67 @@
+"""§1's "two and a half orders of magnitude" claim (Experiment G).
+
+Measures the EMST speedup on the paper's query D as the data scales,
+showing the gap *widening* with size — the restricted computation stays
+constant while the original grows linearly.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.api import Connection
+from repro.workloads.empdept import (
+    PAPER_QUERY_SQL,
+    PAPER_VIEWS_SQL,
+    build_empdept_database,
+)
+
+from benchmarks.conftest import bench_scale, write_result
+
+
+def _measure(n_departments):
+    db = build_empdept_database(
+        n_departments=n_departments, employees_per_department=5, seed=107
+    )
+    connection = Connection(db)
+    connection.run_script(PAPER_VIEWS_SQL)
+    timings = {}
+    for strategy in ("original", "emst"):
+        prepared = connection.prepare_statement(PAPER_QUERY_SQL, strategy=strategy)
+        prepared.execute()
+        best = float("inf")
+        for _ in range(3):
+            started = time.perf_counter()
+            prepared.execute()
+            best = min(best, time.perf_counter() - started)
+        timings[strategy] = best
+    return timings
+
+
+def test_scaling_speedup_grows(benchmark):
+    base = max(int(2000 * bench_scale()), 50)
+    sizes = [base, base * 2, base * 4]
+    lines = [
+        "Query D speedup vs data size (the 'two and a half orders of",
+        "magnitude' claim of Experiment G)",
+        "",
+        "%-12s %12s %12s %10s" % ("#depts", "original(s)", "emst(s)", "speedup"),
+    ]
+    speedups = []
+    for size in sizes:
+        timings = _measure(size)
+        speedup = timings["original"] / max(timings["emst"], 1e-9)
+        speedups.append(speedup)
+        lines.append(
+            "%-12d %12.4f %12.6f %9.0fx"
+            % (size, timings["original"], timings["emst"], speedup)
+        )
+
+    benchmark.pedantic(lambda: _measure(sizes[0]), iterations=1, rounds=1)
+
+    output = "\n".join(lines)
+    print("\n" + output)
+    write_result("scaling.txt", output)
+
+    assert speedups[-1] > speedups[0]  # the gap widens with scale
+    assert speedups[-1] > 30  # orders of magnitude at the largest size

@@ -1,0 +1,49 @@
+"""Shared benchmark configuration.
+
+Data scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable
+(default 0.4): 1.0 reproduces the shapes most faithfully, smaller values
+run faster. Each bench module writes the table/figure it regenerates into
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_scale():
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.4"))
+
+
+def write_result(name, text):
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def paper_connection(scale):
+    """A Connection over the paper's schema at benchmark scale, with the
+    Example 1.1 views registered."""
+    from repro.api import Connection
+    from repro.workloads.empdept import PAPER_VIEWS_SQL, build_empdept_database
+
+    db = build_empdept_database(
+        n_departments=max(int(12000 * scale), 10),
+        employees_per_department=5,
+        seed=107,
+    )
+    connection = Connection(db)
+    connection.run_script(PAPER_VIEWS_SQL)
+    return connection

@@ -1,0 +1,81 @@
+"""Consolidated reproduction report.
+
+Runs every table/figure reproduction directly (no pytest) and writes
+``benchmarks/results/REPORT.md``. Usage::
+
+    python benchmarks/run_all.py [scale]
+
+Scale defaults to 1.0 (the most faithful shapes; ~2-4 minutes).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import time
+
+RESULTS = pathlib.Path(__file__).parent / "results"
+
+
+def main(scale=1.0):
+    sys.path.insert(0, str(pathlib.Path(__file__).parent.parent))
+    import os
+
+    os.environ["REPRO_BENCH_SCALE"] = str(scale)
+
+    from repro.workloads.experiments import (
+        PAPER_TABLE1,
+        run_all_experiments,
+        format_table1,
+    )
+
+    started = time.time()
+    lines = [
+        "# Reproduction report",
+        "",
+        "scale=%.2f, generated in %s" % (scale, time.strftime("%Y-%m-%d %H:%M")),
+        "",
+        "## Table 1",
+        "",
+        "```",
+    ]
+    print("running Table 1 experiments (scale %.2f)..." % scale)
+    runs = run_all_experiments(scale=scale, repeats=3)
+    table = format_table1(runs)
+    print(table)
+    lines.append(table)
+    lines.append("```")
+    lines.append("")
+    ok = all(r.shape_ok and r.rows_agree for r in runs.values())
+    lines.append(
+        "all rows agree across strategies: %s; all shape criteria met: %s"
+        % (
+            all(r.rows_agree for r in runs.values()),
+            all(r.shape_ok for r in runs.values()),
+        )
+    )
+    lines.append("")
+
+    # Figures and ablations are produced by their pytest benches; collect
+    # whatever outputs exist.
+    lines.append("## Figures and ablations")
+    lines.append("")
+    for name in sorted(RESULTS.glob("*.txt")):
+        lines.append("### %s" % name.name)
+        lines.append("")
+        lines.append("```")
+        lines.append(name.read_text().rstrip())
+        lines.append("```")
+        lines.append("")
+
+    RESULTS.mkdir(exist_ok=True)
+    report = RESULTS / "REPORT.md"
+    report.write_text("\n".join(lines) + "\n")
+    print()
+    print("report written to %s (%.1fs)" % (report, time.time() - started))
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+    sys.exit(main(scale))

@@ -1,0 +1,96 @@
+"""Extensibility (§5 of the paper).
+
+A database customizer adds a new QGM operation — here a SAMPLE-FIRST-N box
+that passes through the first N rows of its input — by:
+
+1. registering the new box kind's EMST properties (AMQ or NMQ, plus an
+   optional pass-down handler): "a simple property to state",
+2. giving the box an evaluation hook,
+3. (optionally) adding new rewrite rules.
+
+The EMST rule itself is untouched: it consults the registry and treats the
+custom NMQ box like any other — the magic restriction is simply dropped at
+the box (always safe) or passed down by the customizer's handler.
+
+Run:  python examples/extensibility.py
+"""
+
+from repro import Connection, Database, render_text
+from repro.magic.properties import OperationProperties, register_operation
+from repro.qgm import build_query_graph
+from repro.qgm.model import Box, OutputColumn, Quantifier, QuantifierType
+from repro.optimizer.heuristic import optimize_with_heuristic
+from repro.sql import parse_statement
+
+SAMPLE_KIND = "SAMPLE"
+
+
+def evaluate_sample(evaluator, box, env):
+    """Evaluation hook: first N rows of the single input."""
+    limit = box.properties["sample_limit"]
+    child_rows = evaluator.rows_for(box.quantifiers[0].input_box, env)
+    return child_rows[:limit]
+
+
+def make_sample_box(graph, child, limit):
+    """Wrap ``child`` in a SAMPLE box keeping its first ``limit`` rows."""
+    box = graph.new_box(SAMPLE_KIND, graph.fresh_name("SAMPLE"))
+    quantifier = Quantifier(
+        name=graph.fresh_name("smp"),
+        qtype=QuantifierType.FOREACH,
+        input_box=child,
+    )
+    box.add_quantifier(quantifier)
+    box.columns = [OutputColumn(name=c.name) for c in child.columns]
+    box.properties["sample_limit"] = limit
+    box.properties["evaluate"] = evaluate_sample
+    return box
+
+
+def main():
+    # 1. Declare the operation's EMST properties: SAMPLE must not accept a
+    #    magic quantifier (filtering *before* the sample would change which
+    #    rows are sampled), and it does not pass restrictions down either —
+    #    so it is NMQ with no pass-down handler. EMST will simply leave it
+    #    (and everything below it) unrestricted. Sound by construction.
+    register_operation(
+        OperationProperties(kind=SAMPLE_KIND, amq=False, pass_down=None)
+    )
+
+    db = Database()
+    db.create_table(
+        "readings",
+        ["sensor", "value"],
+        rows=[(i % 10, i * 1.5) for i in range(1000)],
+    )
+    conn = Connection(db)
+
+    # 2. Build a query graph and splice the custom box in under the top box.
+    graph = build_query_graph(
+        parse_statement(
+            "SELECT r.sensor, r.value FROM readings r WHERE r.sensor = 3"
+        ),
+        db.catalog,
+    )
+    top = graph.top_box
+    child = top.quantifiers[0].input_box
+    sample = make_sample_box(graph, child, limit=100)
+    top.quantifiers[0].input_box = sample
+
+    # 3. The whole pipeline — rewrite rules, EMST, planning, execution —
+    #    handles the foreign box without modification.
+    result = optimize_with_heuristic(graph, db.catalog)
+    print(render_text(result.graph))
+    print()
+
+    from repro.engine import Evaluator
+
+    rows = Evaluator(result.graph, db, join_orders=result.join_orders).run()
+    print("rows over the first-100 sample with sensor = 3:", len(rows))
+    assert all(sensor == 3 for sensor, _ in rows.rows)
+    print("custom operation integrated: EMST ran, the SAMPLE box survived,")
+    print("and the predicate was not pushed through it.")
+
+
+if __name__ == "__main__":
+    main()

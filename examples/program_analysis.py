@@ -1,0 +1,99 @@
+"""Datalog-style program analysis on the SQL engine.
+
+The deductive-database systems the paper compares against (Coral, LDL,
+NAIL!, Glue-Nail) were built for exactly this workload: recursive rules
+over program facts. This example runs a field-insensitive *points-to*
+analysis as recursive SQL — and shows the magic-sets transformation doing
+what it was invented for: answering "what does THIS variable point to?"
+without computing the whole-program analysis.
+
+Rules (Andersen-style, simplified):
+
+    pointsTo(v, o) :- newFact(v, o).                    -- v = new Obj
+    pointsTo(v, o) :- assign(v, w), pointsTo(w, o).     -- v = w
+
+Run:  python examples/program_analysis.py
+"""
+
+import random
+import time
+
+from repro import Connection, Database
+
+QUERY_TEMPLATE = """
+WITH RECURSIVE pointsTo (var, obj) AS (
+    SELECT var, obj FROM newFact
+    UNION
+    SELECT a.dst, p.obj FROM assign a, pointsTo p WHERE p.var = a.src
+)
+SELECT obj FROM pointsTo WHERE var = {var} ORDER BY obj
+"""
+
+
+def build_program(n_functions=120, vars_per_function=30, seed=13):
+    """A synthetic program with realistic locality: assignments flow mostly
+    within a function, with occasional calls passing values across."""
+    rng = random.Random(seed)
+    news = []
+    assigns = []
+    alloc = 0
+    for function in range(n_functions):
+        base = function * vars_per_function
+        # allocation sites: one at the chain head, a couple at random
+        news.append((base, alloc)); alloc += 1
+        for _ in range(2):
+            news.append((base + rng.randrange(vars_per_function), alloc))
+            alloc += 1
+        # local dataflow: a chain through the function's variables
+        for offset in range(vars_per_function - 1):
+            assigns.append((base + offset + 1, base + offset))
+        # one or two cross-function flows (parameter passing)
+        for _ in range(2):
+            callee = rng.randrange(n_functions)
+            assigns.append(
+                (
+                    callee * vars_per_function + rng.randrange(vars_per_function),
+                    base + rng.randrange(vars_per_function),
+                )
+            )
+    db = Database()
+    db.create_table("newFact", ["var", "obj"], rows=news)
+    db.create_table("assign", ["dst", "src"], rows=assigns)
+    return db
+
+
+def main():
+    db = build_program()
+    conn = Connection(db)
+    variable = 29  # the end of function 0's local dataflow chain
+    sql = QUERY_TEMPLATE.format(var=variable)
+    print("points-to query for variable %d:" % variable)
+    print(sql.strip())
+    print()
+
+    for strategy in ("original", "emst"):
+        prepared = conn.prepare_statement(sql, strategy=strategy)
+        result, stats = prepared.execute()
+        started = time.perf_counter()
+        result, stats = prepared.execute()
+        elapsed = time.perf_counter() - started
+        print(
+            "%-9s %8.4fs  objects=%d  rows_produced=%d"
+            % (
+                strategy,
+                elapsed,
+                len(result.rows),
+                stats.as_dict()["rows_produced"],
+            )
+        )
+    print()
+    print(
+        "Original computes the whole-program points-to relation; the magic\n"
+        "transformation seeds the fixpoint with variable %d and explores\n"
+        "only its assignment chain — the deductive-database use case the\n"
+        "paper's related-work section contrasts with." % variable
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Recursive queries and recursive magic.
+
+The paper notes that magic can turn a nonrecursive query into a recursive
+one — and that the transformation applies to "general recursive queries
+with stratified negation and aggregation" too. This example runs a
+bill-of-materials (transitive closure) query: all components of one
+product. Magic restricts the closure to the single product of interest,
+which is dramatically cheaper than computing the closure of the entire
+catalog.
+
+Run:  python examples/recursive_bom.py
+"""
+
+import random
+import time
+
+from repro import Connection, Database
+
+QUERY = """
+WITH RECURSIVE uses (part, component) AS (
+    SELECT parent, child FROM bom
+    UNION
+    SELECT u.part, b.child FROM uses u, bom b WHERE b.parent = u.component
+)
+SELECT component FROM uses WHERE part = 1 ORDER BY component
+"""
+
+
+def build_bom(n_products=300, depth=4, fanout=3, seed=11):
+    """A forest of product structures: each product explodes into
+    sub-assemblies over ``depth`` levels."""
+    rng = random.Random(seed)
+    rows = []
+    next_id = n_products + 1
+    frontier = {p: [p] for p in range(1, n_products + 1)}
+    for _ in range(depth):
+        for product, nodes in frontier.items():
+            new_nodes = []
+            for node in nodes:
+                for _ in range(rng.randint(1, fanout)):
+                    rows.append((node, next_id))
+                    new_nodes.append(next_id)
+                    next_id += 1
+            frontier[product] = new_nodes
+    db = Database()
+    db.create_table("bom", ["parent", "child"], rows=rows)
+    return db
+
+
+def main():
+    db = build_bom()
+    conn = Connection(db)
+    print("bill-of-materials edges:", len(db.table("bom")))
+    print()
+    print("all components of product 1 (transitive closure, magic-restricted):")
+    print(QUERY.strip())
+    print()
+
+    for strategy in ("original", "emst"):
+        prepared = conn.prepare_statement(QUERY, strategy=strategy)
+        result, stats = prepared.execute()
+        started = time.perf_counter()
+        result, stats = prepared.execute()
+        elapsed = time.perf_counter() - started
+        print(
+            "%-9s %8.4fs  components=%d  rows_produced=%d"
+            % (strategy, elapsed, len(result.rows), stats.as_dict()["rows_produced"])
+        )
+    print()
+    print(
+        "The magic transformation restricts the fixpoint to product 1's"
+        " sub-tree;\nthe original computes the closure of every product."
+    )
+
+
+if __name__ == "__main__":
+    main()

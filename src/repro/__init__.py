@@ -1,0 +1,61 @@
+"""repro — a reproduction of *Implementation of Magic-sets in a Relational
+Database System* (Mumick & Pirahesh, SIGMOD 1994).
+
+The package implements the whole stack the paper describes: an SQL front
+end, the Query Graph Model (QGM), a rule-based query-rewrite optimizer, the
+Extended Magic-Sets Transformation (EMST) as a rewrite rule, a System-R
+style plan optimizer feeding join orders to EMST through the §3.2 cost-
+based heuristic, and an executable engine with bottom-up, correlated and
+recursive (fixpoint) evaluation strategies.
+
+Quickstart::
+
+    from repro import Connection, Database
+
+    db = Database()
+    db.create_table("employee", ["empno", "empname", "workdept", "salary"],
+                    primary_key=["empno"], rows=[...])
+    conn = Connection(db)
+    conn.run_script("CREATE VIEW v AS SELECT ...")
+    outcome = conn.explain_execute("SELECT ... FROM v ...", strategy="emst")
+"""
+
+from repro.api import Connection, ExecutionOutcome, STRATEGIES
+from repro.catalog import Catalog, ColumnDef, TableSchema
+from repro.engine import CorrelatedEvaluator, Database, Evaluator, Table
+from repro.errors import ReproError
+from repro.magic import EmstRule
+from repro.optimizer import optimize_graph
+from repro.optimizer.heuristic import optimize_with_heuristic
+from repro.qgm import build_query_graph, render_dot, render_text, validate_graph
+from repro.rewrite import RewriteEngine, default_rules
+from repro.sql import parse_script, parse_statement, to_sql
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Connection",
+    "ExecutionOutcome",
+    "STRATEGIES",
+    "Catalog",
+    "ColumnDef",
+    "TableSchema",
+    "CorrelatedEvaluator",
+    "Database",
+    "Evaluator",
+    "Table",
+    "ReproError",
+    "EmstRule",
+    "optimize_graph",
+    "optimize_with_heuristic",
+    "build_query_graph",
+    "render_dot",
+    "render_text",
+    "validate_graph",
+    "RewriteEngine",
+    "default_rules",
+    "parse_script",
+    "parse_statement",
+    "to_sql",
+    "__version__",
+]

@@ -1,0 +1,227 @@
+"""Command-line interface: an interactive SQL shell and script runner.
+
+Usage::
+
+    python -m repro                      # interactive shell (empty database)
+    python -m repro --demo               # shell preloaded with the paper's
+                                         # employee/department example
+    python -m repro script.sql           # run a script file
+    python -m repro script.sql --strategy correlated --explain
+
+Shell commands (backslash-prefixed):
+
+    \\strategy [name]    show or set the execution strategy
+    \\explain on|off     print the optimized plan/graph before each query
+    \\timing on|off      print execution time after each query
+    \\tables             list tables and views
+    \\graph <query>      print the rewritten QGM graph for a query
+    \\q                  quit
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro import Connection, Database, ReproError
+from repro.api import STRATEGIES
+
+
+def format_result(result, max_rows=100):
+    """Render a Result as an aligned text table."""
+    rows = list(result.rows[:max_rows])
+    headers = list(result.columns)
+    rendered = [
+        ["NULL" if v is None else str(v) for v in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    lines.append(" | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(" | ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
+    total = len(result.rows)
+    suffix = " (%d rows" % total
+    if total > max_rows:
+        suffix += ", %d shown" % max_rows
+    suffix += ")"
+    lines.append(suffix)
+    return "\n".join(lines)
+
+
+class Shell:
+    """The interactive shell / script-runner state."""
+
+    def __init__(self, database=None, strategy="emst", explain=False, timing=False):
+        self.connection = Connection(database or Database())
+        self.strategy = strategy
+        self.explain = explain
+        self.timing = timing
+
+    # -- statement execution -----------------------------------------------------
+
+    def run_sql(self, text, out=None):
+        out = out or sys.stdout
+        from repro.sql import parse_script
+        from repro.sql.ast import Query
+
+        script = parse_script(text)
+        for statement in script.statements:
+            if isinstance(statement, Query):
+                if self.explain:
+                    from repro.sql.printer import to_sql
+
+                    out.write(
+                        self.connection.explain(
+                            to_sql(statement), strategy=self.strategy
+                        )
+                        + "\n"
+                    )
+                started = time.perf_counter()
+                outcome = self.connection.execute_query(
+                    statement, strategy=self.strategy
+                )
+                elapsed = time.perf_counter() - started
+                out.write(format_result(outcome.result) + "\n")
+                if self.timing:
+                    out.write("time: %.4fs (strategy: %s)\n" % (elapsed, self.strategy))
+            else:
+                from repro.sql.printer import to_sql
+
+                self.connection.run_script(to_sql(statement))
+                out.write("ok\n")
+
+    # -- shell commands ---------------------------------------------------------------
+
+    def run_command(self, line, out=None):
+        out = out or sys.stdout
+        parts = line.strip().split(None, 1)
+        command = parts[0]
+        argument = parts[1].strip() if len(parts) > 1 else ""
+        if command in ("\\q", "\\quit", "\\exit"):
+            return False
+        if command == "\\strategy":
+            if argument:
+                if argument not in STRATEGIES:
+                    out.write(
+                        "unknown strategy %r (one of: %s)\n"
+                        % (argument, ", ".join(STRATEGIES))
+                    )
+                else:
+                    self.strategy = argument
+            out.write("strategy: %s\n" % self.strategy)
+        elif command == "\\explain":
+            self.explain = argument != "off"
+            out.write("explain: %s\n" % ("on" if self.explain else "off"))
+        elif command == "\\timing":
+            self.timing = argument != "off"
+            out.write("timing: %s\n" % ("on" if self.timing else "off"))
+        elif command == "\\tables":
+            catalog = self.connection.database.catalog
+            for schema in catalog.tables():
+                out.write(
+                    "table %s(%s)\n"
+                    % (schema.name, ", ".join(schema.column_names))
+                )
+            for view in catalog.views():
+                out.write("view  %s\n" % view.name)
+        elif command == "\\graph":
+            if not argument:
+                out.write("usage: \\graph <query>\n")
+            else:
+                out.write(
+                    self.connection.explain(argument, strategy=self.strategy) + "\n"
+                )
+        else:
+            out.write("unknown command %s (try \\q, \\strategy, \\tables)\n" % command)
+        return True
+
+    # -- the REPL ------------------------------------------------------------------------
+
+    def repl(self, stdin=None, out=None):
+        stdin = stdin or sys.stdin
+        out = out or sys.stdout
+        out.write(
+            "repro SQL shell — strategy: %s. End statements with ';', "
+            "\\q to quit.\n" % self.strategy
+        )
+        buffer = []
+        while True:
+            out.write("...> " if buffer else "sql> ")
+            out.flush()
+            line = stdin.readline()
+            if not line:
+                break
+            stripped = line.strip()
+            if not buffer and stripped.startswith("\\"):
+                if not self.run_command(stripped, out):
+                    break
+                continue
+            buffer.append(line)
+            if stripped.endswith(";"):
+                text = "".join(buffer)
+                buffer = []
+                try:
+                    self.run_sql(text, out)
+                except ReproError as error:
+                    out.write("error: %s\n" % error)
+
+
+def demo_database():
+    """The paper's employee/department example, preloaded."""
+    from repro.workloads.empdept import PAPER_VIEWS_SQL, build_empdept_database
+
+    db = build_empdept_database(n_departments=50, employees_per_department=8)
+    connection = Connection(db)
+    connection.run_script(PAPER_VIEWS_SQL)
+    return db
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Magic-sets SQL engine (SIGMOD'94 reproduction)",
+    )
+    parser.add_argument("script", nargs="?", help="SQL script file to run")
+    parser.add_argument(
+        "--strategy",
+        default="emst",
+        choices=list(STRATEGIES),
+        help="execution strategy (default: emst)",
+    )
+    parser.add_argument(
+        "--explain", action="store_true", help="print plans before each query"
+    )
+    parser.add_argument(
+        "--timing", action="store_true", help="print execution times"
+    )
+    parser.add_argument(
+        "--demo",
+        action="store_true",
+        help="preload the paper's employee/department example",
+    )
+    args = parser.parse_args(argv)
+
+    database = demo_database() if args.demo else Database()
+    shell = Shell(
+        database, strategy=args.strategy, explain=args.explain, timing=args.timing
+    )
+    if args.script:
+        with open(args.script) as handle:
+            text = handle.read()
+        try:
+            shell.run_sql(text)
+        except ReproError as error:
+            sys.stderr.write("error: %s\n" % error)
+            return 1
+        return 0
+    shell.repl()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

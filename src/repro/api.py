@@ -1,0 +1,416 @@
+"""High-level public API.
+
+:class:`Connection` wraps a :class:`~repro.engine.Database` and executes
+SQL under one of the paper's three strategies:
+
+* ``"original"`` — no query rewrite; plan-optimize join orders and evaluate
+  bottom-up, fully materialising every view (Table 1, column *Original*),
+* ``"correlated"`` — no query rewrite; evaluate derived-table references
+  tuple-at-a-time with per-binding pushdown (column *Correlated*),
+* ``"emst"`` — the full pipeline of Figure 3: rewrite phase 1 → plan pass 1
+  → rewrite phase 2 with the EMST rule → rewrite phase 3 → plan pass 2 →
+  execute the cheaper plan (column *EMST*),
+* ``"norewrite"`` / ``"phase1"`` — ablations: no rules at all / every rule
+  except EMST.
+
+Example::
+
+    from repro import Connection, Database
+
+    db = Database()
+    db.create_table("t", ["a", "b"], primary_key=["a"], rows=[(1, 2)])
+    conn = Connection(db)
+    result = conn.execute("SELECT a FROM t WHERE b = 2")
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import NotSupportedError, ReproError
+from repro.sql import parse_script
+from repro.sql.ast import CreateTable, CreateView, Delete, InsertValues, Query, Update
+from repro.qgm import build_query_graph, render_text, validate_graph
+from repro.engine import CorrelatedEvaluator, Evaluator
+from repro.optimizer import optimize_graph
+from repro.optimizer.heuristic import optimize_with_heuristic
+
+STRATEGIES = ("original", "correlated", "emst", "phase1", "norewrite")
+
+
+def _constant_value(expr):
+    """Evaluate a constant AST expression (INSERT ... VALUES rows)."""
+    from repro.sql import ast as sql_ast
+    from repro.engine.expressions import arithmetic
+
+    if isinstance(expr, sql_ast.Literal):
+        return expr.value
+    if isinstance(expr, sql_ast.UnaryOp) and expr.op == "-":
+        value = _constant_value(expr.operand)
+        return None if value is None else -value
+    if isinstance(expr, sql_ast.BinaryOp) and expr.op in ("+", "-", "*", "/", "%", "||"):
+        return arithmetic(
+            expr.op, _constant_value(expr.left), _constant_value(expr.right)
+        )
+    raise NotSupportedError(
+        "INSERT values must be constants, got %r" % type(expr).__name__
+    )
+
+
+@dataclass
+class ExecutionOutcome:
+    """A query result plus everything observed while producing it."""
+
+    result: object
+    strategy: str
+    graph: object
+    plan: Optional[object] = None
+    heuristic: Optional[object] = None
+    elapsed_seconds: float = 0.0
+    rewrite_seconds: float = 0.0
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def rows(self):
+        return self.result.rows
+
+    @property
+    def columns(self):
+        return self.result.columns
+
+
+@dataclass
+class PreparedQuery:
+    """A query that has been parsed, rewritten and planned once; each
+    ``execute`` call only runs the execution engine (the paper's elapsed
+    times measure execution of already-optimized queries)."""
+
+    database: object
+    graph: object
+    plan: Optional[object]
+    heuristic: Optional[object]
+    strategy: str
+
+    def execute(self):
+        join_orders = self.plan.join_orders if self.plan is not None else None
+        if self.strategy == "correlated":
+            from repro.engine import CorrelatedEvaluator
+
+            evaluator = CorrelatedEvaluator(
+                self.graph, self.database, join_orders=join_orders
+            )
+        else:
+            from repro.engine import Evaluator
+
+            evaluator = Evaluator(
+                self.graph,
+                self.database,
+                join_orders=join_orders,
+                memoize_correlated=(self.strategy == "emst"),
+            )
+        result = evaluator.run()
+        return result, evaluator.stats
+
+
+class Connection:
+    """Executes SQL against a database under a chosen strategy."""
+
+    def __init__(self, database):
+        self.database = database
+
+    def prepare_statement(self, sql_text, strategy="emst"):
+        """Parse, rewrite and plan once; returns a :class:`PreparedQuery`."""
+        script = parse_script(sql_text)
+        queries = script.queries
+        if len(queries) != 1:
+            raise ReproError("expected exactly one query, got %d" % len(queries))
+        for statement in script.views:
+            self.database.catalog.add_view(statement)
+        try:
+            graph, plan, heuristic, _ = self.prepare(queries[0], strategy)
+        finally:
+            for statement in script.views:
+                self.database.catalog.drop_view(statement.name)
+        validate_graph(graph)
+        return PreparedQuery(
+            database=self.database,
+            graph=graph,
+            plan=plan,
+            heuristic=heuristic,
+            strategy=strategy,
+        )
+
+    # -- statements -------------------------------------------------------------
+
+    def run_script(self, sql_text, strategy="emst"):
+        """Run a multi-statement script. CREATE TABLE/VIEW and INSERT
+        statements update the database; each query executes. Returns the
+        outcome of the last query (None when the script has no query)."""
+        script = parse_script(sql_text)
+        outcome = None
+        for statement in script.statements:
+            if isinstance(statement, CreateView):
+                self.database.catalog.add_view(statement)
+            elif isinstance(statement, CreateTable):
+                self._create_table(statement)
+            elif isinstance(statement, InsertValues):
+                self._insert_values(statement)
+            elif isinstance(statement, Delete):
+                self._delete(statement)
+            elif isinstance(statement, Update):
+                self._update(statement)
+            elif isinstance(statement, Query):
+                outcome = self.execute_query(statement, strategy=strategy)
+            else:
+                raise NotSupportedError(
+                    "unsupported statement %r" % type(statement).__name__
+                )
+        return outcome
+
+    def _create_table(self, statement):
+        from repro.catalog import ColumnDef
+
+        self.database.create_table(
+            statement.name,
+            [
+                ColumnDef(name=c.name, type_name=c.type_name)
+                for c in statement.columns
+            ],
+            primary_key=statement.primary_key,
+            unique_keys=statement.unique_keys,
+        )
+
+    def _insert_values(self, statement):
+        rows = [
+            tuple(_constant_value(v) for v in row) for row in statement.rows
+        ]
+        self.database.insert(statement.table, rows)
+        self.database.analyze(statement.table)
+
+    def _matching_row_mask(self, table_name, where):
+        """Evaluate a DELETE/UPDATE predicate over a base table; returns a
+        boolean per stored row (positionally). Reuses the query pipeline:
+        subqueries and correlation in the predicate work unchanged."""
+        from repro.sql import ast as sql_ast
+        from repro.qgm import build_query_graph
+        from repro.qgm.model import QuantifierType
+        from repro.engine import Evaluator
+        from repro.engine.expressions import evaluate, predicate_holds
+
+        if where is None:
+            return [True] * len(self.database.table(table_name).rows)
+        query = sql_ast.Query(
+            body=sql_ast.SelectCore(
+                items=[sql_ast.SelectItem(expr=sql_ast.Star())],
+                from_tables=[sql_ast.TableRef(name=table_name)],
+                where=where,
+            )
+        )
+        graph = build_query_graph(query, self.database.catalog)
+        box = graph.top_box
+        quantifier = box.foreach_quantifiers()[0]
+        evaluator = Evaluator(graph, self.database)
+        mask = []
+        for row in self.database.table(table_name).rows:
+            env = {quantifier: row}
+            mask.append(self._row_matches(evaluator, box, quantifier, env))
+        return mask
+
+    @staticmethod
+    def _row_matches(evaluator, box, quantifier, env):
+        from repro.qgm.model import QuantifierType
+        from repro.engine.expressions import predicate_holds
+
+        # Bind scalar subqueries, then test predicates and E/A quantifiers,
+        # mirroring one select-box iteration for a single candidate row.
+        for sub in box.quantifiers:
+            if sub.qtype == QuantifierType.SCALAR:
+                env = dict(env)
+                env[sub] = evaluator._scalar_row(
+                    sub, env, sub.selector_predicates
+                )
+        from repro.qgm import expr as qe
+
+        filter_quantifiers = [
+            q
+            for q in box.quantifiers
+            if q.qtype in (QuantifierType.EXISTENTIAL, QuantifierType.ANTI)
+        ]
+        for predicate in box.predicates:
+            involved = {
+                r.quantifier
+                for r in qe.column_refs(predicate)
+                if r.quantifier in set(filter_quantifiers)
+            }
+            if involved:
+                continue
+            if not predicate_holds(predicate, env):
+                return False
+        for sub in filter_quantifiers:
+            attached = [
+                p
+                for p in box.predicates
+                if any(
+                    r.quantifier is sub for r in qe.column_refs(p)
+                )
+            ]
+            if not evaluator._passes_filter_quantifier(sub, attached, env):
+                return False
+        return True
+
+    def _delete(self, statement):
+        table = self.database.table(statement.table)
+        mask = self._matching_row_mask(statement.table, statement.where)
+        table.rows = [row for row, hit in zip(table.rows, mask) if not hit]
+        table._indexes.clear()
+        self.database.analyze(statement.table)
+
+    def _update(self, statement):
+        from repro.sql import ast as sql_ast
+        from repro.qgm import build_query_graph
+        from repro.engine.expressions import evaluate
+
+        table = self.database.table(statement.table)
+        mask = self._matching_row_mask(statement.table, statement.where)
+
+        # Build the assignment expressions against the table's scope.
+        query = sql_ast.Query(
+            body=sql_ast.SelectCore(
+                items=[
+                    sql_ast.SelectItem(expr=value, alias="a%d" % index)
+                    for index, (_, value) in enumerate(statement.assignments)
+                ],
+                from_tables=[sql_ast.TableRef(name=statement.table)],
+            )
+        )
+        graph = build_query_graph(query, self.database.catalog)
+        box = graph.top_box
+        quantifier = box.foreach_quantifiers()[0]
+        targets = [
+            table.schema.column_ordinal(column)
+            for column, _ in statement.assignments
+        ]
+        new_rows = []
+        for row, hit in zip(table.rows, mask):
+            if not hit:
+                new_rows.append(row)
+                continue
+            env = {quantifier: row}
+            values = [evaluate(column.expr, env) for column in box.columns]
+            updated = list(row)
+            for ordinal, value in zip(targets, values):
+                updated[ordinal] = value
+            new_rows.append(tuple(updated))
+        table.rows = new_rows
+        table._indexes.clear()
+        self.database.analyze(statement.table)
+
+    def execute(self, sql_text, strategy="emst"):
+        """Parse and execute a single query; returns the Result."""
+        return self.explain_execute(sql_text, strategy=strategy).result
+
+    def explain_execute(self, sql_text, strategy="emst"):
+        """Parse and execute a single query; returns an ExecutionOutcome."""
+        script = parse_script(sql_text)
+        queries = script.queries
+        if len(queries) != 1:
+            raise ReproError("expected exactly one query, got %d" % len(queries))
+        for statement in script.views:
+            self.database.catalog.add_view(statement)
+        try:
+            return self.execute_query(queries[0], strategy=strategy)
+        finally:
+            for statement in script.views:
+                self.database.catalog.drop_view(statement.name)
+
+    # -- core ---------------------------------------------------------------------
+
+    def prepare(self, query, strategy="emst"):
+        """Build (and rewrite/plan per strategy) the query graph; returns
+        (graph, plan_or_None, heuristic_or_None, rewrite_seconds)."""
+        if strategy not in STRATEGIES:
+            raise ReproError(
+                "unknown strategy %r (expected one of %s)"
+                % (strategy, ", ".join(STRATEGIES))
+            )
+        started = time.perf_counter()
+        graph = build_query_graph(query, self.database.catalog)
+        if strategy == "norewrite":
+            return graph, None, None, time.perf_counter() - started
+        if strategy in ("original", "correlated"):
+            plan = optimize_graph(graph, self.database.catalog)
+            return graph, plan, None, time.perf_counter() - started
+        heuristic = optimize_with_heuristic(
+            graph, self.database.catalog, use_emst=(strategy == "emst")
+        )
+        return (
+            heuristic.graph,
+            heuristic.plan,
+            heuristic,
+            time.perf_counter() - started,
+        )
+
+    def execute_query(self, query, strategy="emst"):
+        graph, plan, heuristic, rewrite_seconds = self.prepare(query, strategy)
+        validate_graph(graph)
+        join_orders = plan.join_orders if plan is not None else None
+        started = time.perf_counter()
+        if strategy == "correlated":
+            evaluator = CorrelatedEvaluator(
+                graph, self.database, join_orders=join_orders
+            )
+        else:
+            # The Original strategy re-evaluates correlated subqueries per
+            # outer row without caching, like the systems of the era.
+            evaluator = Evaluator(
+                graph,
+                self.database,
+                join_orders=join_orders,
+                memoize_correlated=(strategy == "emst"),
+            )
+        result = evaluator.run()
+        elapsed = time.perf_counter() - started
+        return ExecutionOutcome(
+            result=result,
+            strategy=strategy,
+            graph=graph,
+            plan=plan,
+            heuristic=heuristic,
+            elapsed_seconds=elapsed,
+            rewrite_seconds=rewrite_seconds,
+            stats=evaluator.stats.as_dict(),
+        )
+
+    def explain(self, sql_text, strategy="emst"):
+        """Return a textual explanation: the (rewritten) graph and plan."""
+        script = parse_script(sql_text)
+        queries = script.queries
+        if len(queries) != 1:
+            raise ReproError("expected exactly one query, got %d" % len(queries))
+        for statement in script.views:
+            self.database.catalog.add_view(statement)
+        try:
+            graph, plan, heuristic, _ = self.prepare(queries[0], strategy)
+        finally:
+            for statement in script.views:
+                self.database.catalog.drop_view(statement.name)
+        parts = ["strategy: %s" % strategy]
+        if heuristic is not None:
+            parts.append(
+                "emst used: %s (cost %.1f vs %.1f without)"
+                % (
+                    heuristic.used_emst,
+                    heuristic.cost_with_emst,
+                    heuristic.cost_without_emst,
+                )
+            )
+        if plan is not None:
+            parts.append(plan.describe())
+        parts.append(render_text(graph))
+        from repro.optimizer.explain import physical_plan
+
+        parts.append("physical plan:")
+        parts.append(physical_plan(graph, plan, self.database.catalog))
+        return "\n".join(parts)

@@ -1,0 +1,14 @@
+"""Catalog: table schemas, keys and optimizer statistics."""
+
+from repro.catalog.schema import ColumnDef, TableSchema
+from repro.catalog.catalog import Catalog
+from repro.catalog.statistics import ColumnStatistics, TableStatistics, compute_statistics
+
+__all__ = [
+    "ColumnDef",
+    "TableSchema",
+    "Catalog",
+    "ColumnStatistics",
+    "TableStatistics",
+    "compute_statistics",
+]

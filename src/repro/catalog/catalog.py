@@ -1,0 +1,108 @@
+"""The catalog maps table names to schemas, statistics and view definitions.
+
+Views registered in the catalog are stored as SQL text plus parsed AST and
+expanded by the QGM builder; base tables own a :class:`TableSchema` and a
+:class:`TableStatistics`.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.schema import ColumnDef, TableSchema
+from repro.catalog.statistics import TableStatistics
+from repro.errors import CatalogError
+
+
+class Catalog:
+    """Name → schema/statistics/view registry (names are case-insensitive)."""
+
+    def __init__(self):
+        self._tables = {}
+        self._statistics = {}
+        self._views = {}
+
+    def __deepcopy__(self, memo):
+        # Query graphs hold a catalog reference; deep-copying a graph (the
+        # heuristic snapshots the pre-EMST graph) must share the catalog,
+        # not duplicate it.
+        return self
+
+    # -- base tables ---------------------------------------------------------
+
+    def add_table(self, schema, statistics=None):
+        """Register a base table schema (and optionally its statistics)."""
+        key = schema.name.lower()
+        if key in self._tables or key in self._views:
+            raise CatalogError("table or view %r already defined" % schema.name)
+        self._tables[key] = schema
+        self._statistics[key] = statistics or TableStatistics()
+        return schema
+
+    def define_table(self, name, column_names, primary_key=None, unique_keys=None):
+        """Convenience: register a table from bare column names."""
+        schema = TableSchema(
+            name=name,
+            columns=[ColumnDef(name=c) for c in column_names],
+            primary_key=tuple(primary_key) if primary_key else None,
+            unique_keys=[tuple(k) for k in (unique_keys or [])],
+        )
+        return self.add_table(schema)
+
+    def has_table(self, name):
+        return name.lower() in self._tables
+
+    def table(self, name):
+        schema = self._tables.get(name.lower())
+        if schema is None:
+            raise CatalogError("unknown table %r" % name)
+        return schema
+
+    def tables(self):
+        """All registered base-table schemas."""
+        return list(self._tables.values())
+
+    # -- statistics ----------------------------------------------------------
+
+    def set_statistics(self, name, statistics):
+        if name.lower() not in self._tables:
+            raise CatalogError("unknown table %r" % name)
+        self._statistics[name.lower()] = statistics
+
+    def statistics(self, name):
+        stats = self._statistics.get(name.lower())
+        if stats is None:
+            raise CatalogError("no statistics for table %r" % name)
+        return stats
+
+    # -- views ---------------------------------------------------------------
+
+    def add_view(self, view):
+        """Register a parsed ``CREATE VIEW`` statement."""
+        key = view.name.lower()
+        if key in self._tables or key in self._views:
+            raise CatalogError("table or view %r already defined" % view.name)
+        self._views[key] = view
+        return view
+
+    def drop_view(self, name):
+        self._views.pop(name.lower(), None)
+
+    def has_view(self, name):
+        return name.lower() in self._views
+
+    def view(self, name):
+        view = self._views.get(name.lower())
+        if view is None:
+            raise CatalogError("unknown view %r" % name)
+        return view
+
+    def views(self):
+        return list(self._views.values())
+
+    def resolve(self, name):
+        """Return ("table", schema) or ("view", view) for ``name``."""
+        key = name.lower()
+        if key in self._tables:
+            return ("table", self._tables[key])
+        if key in self._views:
+            return ("view", self._views[key])
+        raise CatalogError("unknown table or view %r" % name)

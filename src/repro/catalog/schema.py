@@ -1,0 +1,95 @@
+"""Table schema objects stored in the catalog."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import CatalogError
+
+
+@dataclass
+class ColumnDef:
+    """One column of a stored table.
+
+    ``type_name`` is advisory ("INT", "FLOAT", "STR"); the engine is
+    dynamically typed and uses it only for documentation and random data
+    generation.
+    """
+
+    name: str
+    type_name: str = "ANY"
+
+
+@dataclass
+class TableSchema:
+    """Schema of a stored (base) table."""
+
+    name: str
+    columns: List[ColumnDef]
+    primary_key: Optional[Tuple[str, ...]] = None
+    unique_keys: List[Tuple[str, ...]] = field(default_factory=list)
+
+    def __post_init__(self):
+        seen = set()
+        for column in self.columns:
+            lowered = column.name.lower()
+            if lowered in seen:
+                raise CatalogError(
+                    "duplicate column %r in table %r" % (column.name, self.name)
+                )
+            seen.add(lowered)
+        if self.primary_key is not None:
+            self.primary_key = tuple(self.primary_key)
+            self._check_key(self.primary_key)
+        self.unique_keys = [tuple(key) for key in self.unique_keys]
+        for key in self.unique_keys:
+            self._check_key(key)
+
+    def __deepcopy__(self, memo):
+        # Schemas are immutable after creation; share them across graph
+        # snapshots.
+        return self
+
+    def _check_key(self, key):
+        names = {c.name.lower() for c in self.columns}
+        for column in key:
+            if column.lower() not in names:
+                raise CatalogError(
+                    "key column %r not in table %r" % (column, self.name)
+                )
+
+    @property
+    def column_names(self):
+        return [column.name for column in self.columns]
+
+    def column_ordinal(self, name):
+        """Return the 0-based position of ``name`` (case-insensitive)."""
+        lowered = name.lower()
+        for index, column in enumerate(self.columns):
+            if column.name.lower() == lowered:
+                return index
+        raise CatalogError("no column %r in table %r" % (name, self.name))
+
+    def has_column(self, name):
+        lowered = name.lower()
+        return any(column.name.lower() == lowered for column in self.columns)
+
+    def all_keys(self):
+        """Yield every declared key (primary first)."""
+        if self.primary_key is not None:
+            yield self.primary_key
+        for key in self.unique_keys:
+            yield key
+
+    def is_unique_on(self, columns):
+        """True when ``columns`` (an iterable of names) covers a declared key.
+
+        A superset of a unique key is itself duplicate-free, which is the
+        inference the distinct-pullup rewrite rule relies on.
+        """
+        available = {name.lower() for name in columns}
+        for key in self.all_keys():
+            if all(part.lower() in available for part in key):
+                return True
+        return False

@@ -1,0 +1,71 @@
+"""Optimizer statistics, in the System-R style the paper's plan optimizer
+[SAC+79] relies on: per-table cardinality and per-column distinct counts and
+value ranges. Statistics are computed from the stored data by ``ANALYZE``
+(:func:`compute_statistics`) or supplied synthetically by workload code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class ColumnStatistics:
+    """Statistics for one column."""
+
+    distinct_count: int = 1
+    null_count: int = 0
+    min_value: Optional[object] = None
+    max_value: Optional[object] = None
+
+    def selectivity_equals_constant(self):
+        """Estimated fraction of rows matching ``col = constant``."""
+        return 1.0 / max(self.distinct_count, 1)
+
+
+@dataclass
+class TableStatistics:
+    """Statistics for one table."""
+
+    row_count: int = 0
+    columns: Dict[str, ColumnStatistics] = field(default_factory=dict)
+
+    def column(self, name):
+        """Statistics for ``name`` (case-insensitive), defaulting sensibly."""
+        stats = self.columns.get(name.lower())
+        if stats is not None:
+            return stats
+        # Unknown column: assume everything is distinct, the conservative
+        # System-R default for key-like columns.
+        return ColumnStatistics(distinct_count=max(self.row_count, 1))
+
+
+def _comparable(values):
+    """Filter to values that can be min/max'd together (single type class)."""
+    non_null = [v for v in values if v is not None]
+    if not non_null:
+        return []
+    numeric = [v for v in non_null if isinstance(v, (int, float)) and not isinstance(v, bool)]
+    if len(numeric) == len(non_null):
+        return numeric
+    strings = [v for v in non_null if isinstance(v, str)]
+    if len(strings) == len(non_null):
+        return strings
+    return []
+
+
+def compute_statistics(schema, rows):
+    """Compute :class:`TableStatistics` for ``rows`` laid out per ``schema``."""
+    stats = TableStatistics(row_count=len(rows))
+    for ordinal, column in enumerate(schema.columns):
+        values = [row[ordinal] for row in rows]
+        non_null = [v for v in values if v is not None]
+        comparable = _comparable(values)
+        stats.columns[column.name.lower()] = ColumnStatistics(
+            distinct_count=max(len(set(non_null)), 1),
+            null_count=len(values) - len(non_null),
+            min_value=min(comparable) if comparable else None,
+            max_value=max(comparable) if comparable else None,
+        )
+    return stats

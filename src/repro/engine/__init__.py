@@ -1,0 +1,25 @@
+"""Execution engine: in-memory storage and QGM evaluation.
+
+Three evaluation strategies mirror the paper's Table 1 columns:
+
+* **bottom-up** (:class:`Evaluator`) — materialise every box once, in
+  stratum order, with set-oriented joins; this is how the *Original* and
+  *EMST* plans run,
+* **correlated** (:mod:`repro.engine.correlated`) — tuple-at-a-time
+  re-evaluation of derived-table references with the outer binding pushed
+  down, DB2-style; this is the *Correlated* column,
+* recursive components run by (semi-)naive fixpoint
+  (:mod:`repro.engine.recursion`).
+"""
+
+from repro.engine.storage import Database, Table
+from repro.engine.evaluator import Evaluator, evaluate_graph
+from repro.engine.correlated import CorrelatedEvaluator
+
+__all__ = [
+    "Database",
+    "Table",
+    "Evaluator",
+    "evaluate_graph",
+    "CorrelatedEvaluator",
+]

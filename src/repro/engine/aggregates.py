@@ -1,0 +1,189 @@
+"""Aggregate function accumulators with SQL semantics.
+
+NULL inputs are ignored by every aggregate; ``COUNT(*)`` counts rows. An
+empty group yields NULL for SUM/AVG/MIN/MAX and 0 for COUNT. DISTINCT
+variants deduplicate their non-NULL inputs first.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExecutionError
+
+
+class _Accumulator:
+    def add(self, value):
+        raise NotImplementedError
+
+    def result(self):
+        raise NotImplementedError
+
+
+class CountStar(_Accumulator):
+    def __init__(self):
+        self.count = 0
+
+    def add(self, value):
+        self.count += 1
+
+    def result(self):
+        return self.count
+
+
+class Count(_Accumulator):
+    def __init__(self):
+        self.count = 0
+
+    def add(self, value):
+        if value is not None:
+            self.count += 1
+
+    def result(self):
+        return self.count
+
+
+class Sum(_Accumulator):
+    def __init__(self):
+        self.total = None
+
+    def add(self, value):
+        if value is None:
+            return
+        self.total = value if self.total is None else self.total + value
+
+    def result(self):
+        return self.total
+
+
+class Avg(_Accumulator):
+    def __init__(self):
+        self.total = 0
+        self.count = 0
+
+    def add(self, value):
+        if value is None:
+            return
+        self.total += value
+        self.count += 1
+
+    def result(self):
+        if self.count == 0:
+            return None
+        return self.total / self.count
+
+
+class Min(_Accumulator):
+    def __init__(self):
+        self.value = None
+
+    def add(self, value):
+        if value is None:
+            return
+        if self.value is None or value < self.value:
+            self.value = value
+
+    def result(self):
+        return self.value
+
+
+class Max(_Accumulator):
+    def __init__(self):
+        self.value = None
+
+    def add(self, value):
+        if value is None:
+            return
+        if self.value is None or value > self.value:
+            self.value = value
+
+    def result(self):
+        return self.value
+
+
+class Distinct(_Accumulator):
+    """Wraps another accumulator, feeding it each distinct non-NULL value."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.seen = set()
+
+    def add(self, value):
+        if value is None or value in self.seen:
+            return
+        self.seen.add(value)
+        self.inner.add(value)
+
+    def result(self):
+        return self.inner.result()
+
+
+class Variance(_Accumulator):
+    """Population variance (Welford's online algorithm)."""
+
+    def __init__(self):
+        self.count = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+
+    def add(self, value):
+        if value is None:
+            return
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (value - self.mean)
+
+    def result(self):
+        if self.count == 0:
+            return None
+        return self.m2 / self.count
+
+
+class Stddev(Variance):
+    def result(self):
+        variance = super().result()
+        return None if variance is None else variance ** 0.5
+
+
+_FACTORIES = {
+    "COUNT": Count,
+    "SUM": Sum,
+    "AVG": Avg,
+    "MIN": Min,
+    "MAX": Max,
+    "VARIANCE": Variance,
+    "STDDEV": Stddev,
+}
+
+
+def register_aggregate(name, factory):
+    """Register a custom aggregate (extensibility hook, §5 style).
+
+    ``factory`` is a zero-argument callable returning an accumulator with
+    ``add(value)`` / ``result()``. The name also becomes recognisable to
+    the SQL builder (it may then appear in select lists and HAVING).
+    """
+    from repro.sql import ast
+
+    upper = name.upper()
+    _FACTORIES[upper] = factory
+    ast.AGGREGATE_FUNCTIONS.add(upper)
+    return factory
+
+
+def make_accumulator(func, star=False, distinct=False):
+    """Build an accumulator for aggregate ``func``.
+
+    ``star`` selects COUNT(*); ``distinct`` wraps with deduplication.
+    """
+    name = func.upper()
+    if name == "COUNT" and star:
+        if distinct:
+            raise ExecutionError("COUNT(DISTINCT *) is not valid SQL")
+        return CountStar()
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        raise ExecutionError("unknown aggregate function %r" % func)
+    accumulator = factory()
+    if distinct:
+        return Distinct(accumulator)
+    return accumulator

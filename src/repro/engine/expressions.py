@@ -1,0 +1,343 @@
+"""Runtime evaluation of QGM expressions with SQL three-valued logic.
+
+An *environment* maps :class:`~repro.qgm.model.Quantifier` objects to the
+current row (a tuple laid out per the quantifier's input box columns).
+Boolean expressions evaluate to ``True``, ``False`` or ``None`` (UNKNOWN);
+predicates accept a row only when the result is ``True``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ExecutionError
+from repro.qgm import expr as qe
+
+_LIKE_CACHE = {}
+
+
+def like_match(value, pattern):
+    """SQL LIKE with ``%`` and ``_`` wildcards; NULL-propagating."""
+    if value is None or pattern is None:
+        return None
+    regex = _LIKE_CACHE.get(pattern)
+    if regex is None:
+        parts = []
+        for char in pattern:
+            if char == "%":
+                parts.append(".*")
+            elif char == "_":
+                parts.append(".")
+            else:
+                parts.append(re.escape(char))
+        regex = re.compile("^%s$" % "".join(parts), re.DOTALL)
+        _LIKE_CACHE[pattern] = regex
+    return regex.match(value) is not None
+
+
+def sql_and(left, right):
+    if left is False or right is False:
+        return False
+    if left is None or right is None:
+        return None
+    return True
+
+
+def sql_or(left, right):
+    if left is True or right is True:
+        return True
+    if left is None or right is None:
+        return None
+    return False
+
+
+def sql_not(value):
+    if value is None:
+        return None
+    return not value
+
+
+def compare(op, left, right):
+    """Three-valued comparison; any NULL operand yields UNKNOWN."""
+    if left is None or right is None:
+        return None
+    try:
+        if op == "=":
+            return left == right
+        if op == "<>":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+    except TypeError:
+        raise ExecutionError(
+            "cannot compare %r and %r with %s" % (left, right, op)
+        )
+    raise ExecutionError("unknown comparison operator %r" % op)
+
+
+def arithmetic(op, left, right):
+    """NULL-propagating arithmetic and string concatenation."""
+    if left is None or right is None:
+        return None
+    try:
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                raise ExecutionError("division by zero")
+            if isinstance(left, int) and isinstance(right, int) and left % right == 0:
+                return left // right
+            return left / right
+        if op == "%":
+            if right == 0:
+                raise ExecutionError("division by zero")
+            return left % right
+        if op == "||":
+            return str(left) + str(right)
+    except TypeError:
+        raise ExecutionError("invalid operands for %s: %r, %r" % (op, left, right))
+    raise ExecutionError("unknown operator %r" % op)
+
+
+_SCALAR_FUNCTIONS = {}
+
+
+def scalar_function(name):
+    """Decorator registering a scalar SQL function (extensibility hook)."""
+
+    def register(fn):
+        _SCALAR_FUNCTIONS[name.upper()] = fn
+        return fn
+
+    return register
+
+
+@scalar_function("UPPER")
+def _fn_upper(value):
+    return None if value is None else str(value).upper()
+
+
+@scalar_function("LOWER")
+def _fn_lower(value):
+    return None if value is None else str(value).lower()
+
+
+@scalar_function("LENGTH")
+def _fn_length(value):
+    return None if value is None else len(str(value))
+
+
+@scalar_function("ABS")
+def _fn_abs(value):
+    return None if value is None else abs(value)
+
+
+@scalar_function("MOD")
+def _fn_mod(left, right):
+    if left is None or right is None:
+        return None
+    if right == 0:
+        raise ExecutionError("MOD by zero")
+    return left % right
+
+
+@scalar_function("COALESCE")
+def _fn_coalesce(*args):
+    for arg in args:
+        if arg is not None:
+            return arg
+    return None
+
+
+@scalar_function("SUBSTR")
+def _fn_substr(value, start, length=None):
+    if value is None or start is None:
+        return None
+    text = str(value)
+    begin = max(int(start) - 1, 0)
+    if length is None:
+        return text[begin:]
+    return text[begin : begin + int(length)]
+
+
+def evaluate(expr, env):
+    """Evaluate a QGM expression in environment ``env``.
+
+    ``env`` maps quantifiers to rows. A reference to a quantifier missing
+    from the environment is an internal error (the evaluator must always
+    bind correlated quantifiers before descending).
+    """
+    if isinstance(expr, qe.QLiteral):
+        return expr.value
+    if isinstance(expr, qe.QColRef):
+        row = env.get(expr.quantifier)
+        if row is None:
+            raise ExecutionError(
+                "unbound quantifier %r while evaluating %s"
+                % (expr.quantifier.name, expr)
+            )
+        ordinal = expr.quantifier.input_box.column_ordinal(expr.column)
+        return row[ordinal]
+    if isinstance(expr, qe.QBinary):
+        if expr.op == "AND":
+            return sql_and(evaluate(expr.left, env), evaluate(expr.right, env))
+        if expr.op == "OR":
+            return sql_or(evaluate(expr.left, env), evaluate(expr.right, env))
+        left = evaluate(expr.left, env)
+        right = evaluate(expr.right, env)
+        if expr.op in ("=", "<>", "<", "<=", ">", ">="):
+            return compare(expr.op, left, right)
+        return arithmetic(expr.op, left, right)
+    if isinstance(expr, qe.QUnary):
+        value = evaluate(expr.operand, env)
+        if expr.op == "NOT":
+            return sql_not(value)
+        if expr.op == "-":
+            return None if value is None else -value
+        raise ExecutionError("unknown unary operator %r" % expr.op)
+    if isinstance(expr, qe.QIsNull):
+        value = evaluate(expr.operand, env)
+        result = value is None
+        return not result if expr.negated else result
+    if isinstance(expr, qe.QLike):
+        result = like_match(evaluate(expr.operand, env), evaluate(expr.pattern, env))
+        if result is None:
+            return None
+        return not result if expr.negated else result
+    if isinstance(expr, qe.QFunc):
+        fn = _SCALAR_FUNCTIONS.get(expr.name.upper())
+        if fn is None:
+            raise ExecutionError("unknown scalar function %r" % expr.name)
+        return fn(*[evaluate(arg, env) for arg in expr.args])
+    if isinstance(expr, qe.QCase):
+        for cond, value in expr.branches:
+            if evaluate(cond, env) is True:
+                return evaluate(value, env)
+        if expr.default is not None:
+            return evaluate(expr.default, env)
+        return None
+    if isinstance(expr, qe.QAggregate):
+        raise ExecutionError(
+            "aggregate %s evaluated outside a groupby box" % expr.func
+        )
+    raise ExecutionError("cannot evaluate expression %r" % type(expr).__name__)
+
+
+def predicate_holds(expr, env):
+    """True only when the predicate evaluates to TRUE (not UNKNOWN)."""
+    return evaluate(expr, env) is True
+
+
+# ---------------------------------------------------------------------------
+# Expression compilation
+# ---------------------------------------------------------------------------
+
+
+def compile_expr(expr):
+    """Compile a QGM expression into a closure ``fn(env) -> value``.
+
+    Semantically identical to :func:`evaluate` but resolves dispatch,
+    column ordinals and operator lookups once, at compile time — the
+    evaluator uses this on its hot paths. Expressions must not be mutated
+    after compilation (rewrite rules rebuild expressions rather than
+    mutating, so anything reachable during execution is stable).
+    """
+    if isinstance(expr, qe.QLiteral):
+        value = expr.value
+        return lambda env: value
+    if isinstance(expr, qe.QColRef):
+        quantifier = expr.quantifier
+        ordinal = quantifier.input_box.column_ordinal(expr.column)
+        name = expr.quantifier.name
+
+        def column_fn(env, _q=quantifier, _o=ordinal, _n=name):
+            row = env.get(_q)
+            if row is None:
+                raise ExecutionError(
+                    "unbound quantifier %r while evaluating %s.%s"
+                    % (_n, _n, expr.column)
+                )
+            return row[_o]
+
+        return column_fn
+    if isinstance(expr, qe.QBinary):
+        op = expr.op
+        left = compile_expr(expr.left)
+        right = compile_expr(expr.right)
+        if op == "AND":
+            return lambda env: sql_and(left(env), right(env))
+        if op == "OR":
+            return lambda env: sql_or(left(env), right(env))
+        if op in ("=", "<>", "<", "<=", ">", ">="):
+            return lambda env: compare(op, left(env), right(env))
+        return lambda env: arithmetic(op, left(env), right(env))
+    if isinstance(expr, qe.QUnary):
+        operand = compile_expr(expr.operand)
+        if expr.op == "NOT":
+            return lambda env: sql_not(operand(env))
+        if expr.op == "-":
+
+            def negate(env):
+                value = operand(env)
+                return None if value is None else -value
+
+            return negate
+        raise ExecutionError("unknown unary operator %r" % expr.op)
+    if isinstance(expr, qe.QIsNull):
+        operand = compile_expr(expr.operand)
+        if expr.negated:
+            return lambda env: operand(env) is not None
+        return lambda env: operand(env) is None
+    if isinstance(expr, qe.QLike):
+        operand = compile_expr(expr.operand)
+        pattern = compile_expr(expr.pattern)
+        negated = expr.negated
+
+        def like_fn(env):
+            result = like_match(operand(env), pattern(env))
+            if result is None:
+                return None
+            return not result if negated else result
+
+        return like_fn
+    if isinstance(expr, qe.QFunc):
+        fn = _SCALAR_FUNCTIONS.get(expr.name.upper())
+        if fn is None:
+            raise ExecutionError("unknown scalar function %r" % expr.name)
+        args = [compile_expr(a) for a in expr.args]
+        return lambda env: fn(*[a(env) for a in args])
+    if isinstance(expr, qe.QCase):
+        branches = [
+            (compile_expr(cond), compile_expr(value))
+            for cond, value in expr.branches
+        ]
+        default = compile_expr(expr.default) if expr.default is not None else None
+
+        def case_fn(env):
+            for cond, value in branches:
+                if cond(env) is True:
+                    return value(env)
+            return default(env) if default is not None else None
+
+        return case_fn
+    if isinstance(expr, qe.QAggregate):
+        raise ExecutionError(
+            "aggregate %s evaluated outside a groupby box" % expr.func
+        )
+    raise ExecutionError("cannot compile expression %r" % type(expr).__name__)
+
+
+def compile_predicate(expr):
+    """Compile a predicate into ``fn(env) -> bool`` (TRUE-only)."""
+    fn = compile_expr(expr)
+    return lambda env: fn(env) is True

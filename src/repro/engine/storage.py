@@ -1,0 +1,119 @@
+"""In-memory storage: tables of tuples plus the database facade.
+
+Rows are plain Python tuples laid out per the table's schema. NULL is
+``None``. The :class:`Database` owns a :class:`~repro.catalog.Catalog` and
+the row storage, and is the object users hand to the session API.
+"""
+
+from __future__ import annotations
+
+from repro.catalog import Catalog, compute_statistics
+from repro.catalog.schema import ColumnDef, TableSchema
+from repro.errors import CatalogError, ExecutionError
+
+
+class Table:
+    """A stored base table: schema + rows + lazily built hash indexes."""
+
+    def __init__(self, schema, rows=None):
+        self.schema = schema
+        self.rows = list(rows or [])
+        self._indexes = {}
+
+    def insert(self, row):
+        if len(row) != len(self.schema.columns):
+            raise ExecutionError(
+                "row arity %d does not match table %r (%d columns)"
+                % (len(row), self.schema.name, len(self.schema.columns))
+            )
+        self.rows.append(tuple(row))
+        self._indexes.clear()
+
+    def insert_many(self, rows):
+        for row in rows:
+            self.insert(row)
+
+    def index_on(self, columns):
+        """A hash index ``key -> [row, ...]`` on one column (keys are bare
+        values) or a tuple of columns (keys are value tuples). Built lazily
+        and kept until the next insert. This models the persistent index
+        access paths both the correlated strategy and set-oriented magic
+        plans rely on."""
+        if isinstance(columns, str):
+            ordinal = self.schema.column_ordinal(columns)
+            index = self._indexes.get(ordinal)
+            if index is None:
+                index = {}
+                for row in self.rows:
+                    index.setdefault(row[ordinal], []).append(row)
+                self._indexes[ordinal] = index
+            return index
+        ordinals = tuple(self.schema.column_ordinal(c) for c in columns)
+        index = self._indexes.get(ordinals)
+        if index is None:
+            index = {}
+            for row in self.rows:
+                index.setdefault(tuple(row[o] for o in ordinals), []).append(row)
+            self._indexes[ordinals] = index
+        return index
+
+    def __len__(self):
+        return len(self.rows)
+
+
+class Database:
+    """Catalog + storage + statistics. The engine's root object."""
+
+    def __init__(self, catalog=None):
+        self.catalog = catalog or Catalog()
+        self._tables = {}
+
+    def create_table(self, name, columns, primary_key=None, unique_keys=None, rows=None):
+        """Create a base table.
+
+        ``columns`` is a list of column names or :class:`ColumnDef`.
+        """
+        defs = [
+            column if isinstance(column, ColumnDef) else ColumnDef(name=column)
+            for column in columns
+        ]
+        schema = TableSchema(
+            name=name,
+            columns=defs,
+            primary_key=tuple(primary_key) if primary_key else None,
+            unique_keys=[tuple(key) for key in (unique_keys or [])],
+        )
+        self.catalog.add_table(schema)
+        table = Table(schema, rows=rows)
+        self._tables[name.lower()] = table
+        if rows:
+            self.analyze(name)
+        return table
+
+    def table(self, name):
+        table = self._tables.get(name.lower())
+        if table is None:
+            raise CatalogError("no stored table %r" % name)
+        return table
+
+    def insert(self, name, rows):
+        self.table(name).insert_many(rows)
+
+    def analyze(self, name=None):
+        """Recompute optimizer statistics (ANALYZE). All tables if no name."""
+        names = [name] if name else [schema.name for schema in self.catalog.tables()]
+        for table_name in names:
+            table = self.table(table_name)
+            self.catalog.set_statistics(
+                table_name, compute_statistics(table.schema, table.rows)
+            )
+
+    def create_view(self, sql_text):
+        """Parse and register a ``CREATE VIEW`` statement."""
+        from repro.sql import parse_statement
+        from repro.sql.ast import CreateView
+
+        statement = parse_statement(sql_text)
+        if not isinstance(statement, CreateView):
+            raise CatalogError("create_view expects a CREATE VIEW statement")
+        return self.catalog.add_view(statement)

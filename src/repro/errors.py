@@ -1,0 +1,67 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type. Subsystems raise the most specific subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SqlError(ReproError):
+    """Base class for SQL front-end errors."""
+
+
+class LexError(SqlError):
+    """Raised when the lexer encounters an invalid character sequence."""
+
+    def __init__(self, message, line, column):
+        super().__init__("%s (line %d, column %d)" % (message, line, column))
+        self.line = line
+        self.column = column
+
+
+class ParseError(SqlError):
+    """Raised when the parser cannot make sense of the token stream."""
+
+    def __init__(self, message, line=None, column=None):
+        if line is not None:
+            message = "%s (line %d, column %d)" % (message, line, column or 0)
+        super().__init__(message)
+        self.line = line
+        self.column = column
+
+
+class CatalogError(ReproError):
+    """Raised for unknown tables/columns or conflicting definitions."""
+
+
+class BindError(ReproError):
+    """Raised when names in a query cannot be resolved against the catalog."""
+
+
+class QgmError(ReproError):
+    """Raised when a QGM graph is malformed or an invariant is violated."""
+
+
+class RewriteError(ReproError):
+    """Raised when a rewrite rule produces or encounters an invalid graph."""
+
+
+class MagicError(RewriteError):
+    """Raised by the EMST machinery (adornment mismatch, bad sips, ...)."""
+
+
+class PlanError(ReproError):
+    """Raised by the plan optimizer."""
+
+
+class ExecutionError(ReproError):
+    """Raised by the execution engine (cardinality violations etc.)."""
+
+
+class NotSupportedError(ReproError):
+    """Raised for SQL constructs outside the supported subset."""

@@ -1,0 +1,34 @@
+"""EMST — the Extended Magic-Sets Transformation (§4 of the paper).
+
+Implemented as a rewrite rule (:class:`~repro.magic.emst.EmstRule`) that
+processes one QGM box at a time, combining adornment and transformation in
+a single step. Supporting pieces:
+
+* :mod:`repro.magic.adornment` — bcf adornment strings,
+* :mod:`repro.magic.properties` — the AMQ/NMQ operation registry (§4.2),
+* :mod:`repro.magic.adorn` — predicate classification per quantifier
+  (Algorithm 4.1, adorn-box),
+* :mod:`repro.magic.magic_boxes` — constructors for magic-,
+  condition-magic- and supplementary-magic-boxes (§4.1),
+* :mod:`repro.magic.emst` — Algorithm 4.2 (magic-process) and the rule.
+"""
+
+from repro.magic.adornment import Adornment, all_free, is_all_free
+from repro.magic.properties import (
+    OperationProperties,
+    operation_properties,
+    register_operation,
+    is_amq,
+)
+from repro.magic.emst import EmstRule
+
+__all__ = [
+    "Adornment",
+    "all_free",
+    "is_all_free",
+    "OperationProperties",
+    "operation_properties",
+    "register_operation",
+    "is_amq",
+    "EmstRule",
+]

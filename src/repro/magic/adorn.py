@@ -1,0 +1,204 @@
+"""Predicate classification for adornment — Algorithm 4.1 (adorn-box).
+
+For one quantifier ``q`` of the box being processed, classify the box's
+predicates against the *eligible* quantifiers (those that may pass
+information into ``q``: the ones preceding it in the join order, plus magic
+quantifiers):
+
+* **dependent equality** ``q.col = <expr over eligible>`` — binds ``col``
+  (letter ``b``); the value set comes through the magic table,
+* **dependent condition** — any other comparison connecting ``q`` to
+  eligible quantifiers — conditions ``q``'s columns (letter ``c``); pushed
+  via a condition-magic-box with semi-join semantics (the ground variant of
+  [MFPR90b]: tuples stay ground),
+* **local predicate** — references ``q`` only (constants otherwise) —
+  pushed directly into the adorned copy (equality gives ``b``, others
+  ``c``),
+* anything touching non-eligible quantifiers or correlated references is
+  left untouched in the box.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.qgm import expr as qe
+from repro.qgm.model import BoxKind
+from repro.magic.adornment import build_adornment
+
+
+@dataclass
+class QuantifierAdornment:
+    """The classification result for one quantifier."""
+
+    #: (child output column name lower, source expr over eligible) pairs
+    #: from dependent equalities.
+    bound: List[Tuple[str, qe.QExpr]] = field(default_factory=list)
+    #: Dependent conditions: the original predicates (kept in the box) plus
+    #: the child columns they condition.
+    conditions: List[qe.QExpr] = field(default_factory=list)
+    condition_columns: List[str] = field(default_factory=list)
+    #: Local predicates (q + constants only) to push into the copy.
+    local_predicates: List[qe.QExpr] = field(default_factory=list)
+    local_bound_columns: List[str] = field(default_factory=list)
+    local_condition_columns: List[str] = field(default_factory=list)
+
+    @property
+    def has_dependent(self):
+        return bool(self.bound or self.conditions)
+
+    @property
+    def is_trivial(self):
+        return not (self.bound or self.conditions or self.local_predicates)
+
+    def adornment_for(self, child):
+        bound = {name for name, _ in self.bound} | set(self.local_bound_columns)
+        conditioned = set(self.condition_columns) | set(self.local_condition_columns)
+        return build_adornment(child, bound, conditioned - bound)
+
+
+def _columns_through(refs, quantifier):
+    return [r.column.lower() for r in refs if r.quantifier is quantifier]
+
+
+def _groupby_restrictable(child, columns):
+    """A groupby box can only pass restrictions on group-key outputs."""
+    for name in columns:
+        column = child.column(name)
+        if isinstance(column.expr, qe.QAggregate):
+            return False
+    return True
+
+
+def classify_quantifier(box, quantifier, eligible):
+    """Classify ``box``'s predicates with respect to ``quantifier``.
+
+    ``eligible`` is the set of quantifiers allowed to pass information into
+    ``quantifier``. Returns a :class:`QuantifierAdornment`.
+    """
+    child = quantifier.input_box
+    local = set(box.quantifiers)
+    result = QuantifierAdornment()
+
+    for predicate in box.predicates:
+        refs = qe.column_refs(predicate)
+        involved = {r.quantifier for r in refs}
+        if quantifier not in involved:
+            continue
+        others = involved - {quantifier}
+        if any(q not in eligible and q in local for q in others):
+            continue  # depends on a later quantifier: not usable
+        if any(q not in local and q not in eligible for q in others):
+            continue  # correlated reference: not usable for adornment
+        q_columns = _columns_through(refs, quantifier)
+        if child.kind == BoxKind.GROUPBY and not _groupby_restrictable(
+            child, q_columns
+        ):
+            continue
+
+        if not others:
+            # Local predicate: q and constants only.
+            bound_column = _local_equality_column(predicate, quantifier)
+            if bound_column is not None:
+                result.local_bound_columns.append(bound_column)
+            else:
+                result.local_condition_columns.extend(q_columns)
+            result.local_predicates.append(predicate)
+            continue
+
+        # Dependent predicate.
+        pair = _dependent_equality(predicate, quantifier)
+        if pair is not None:
+            result.bound.append(pair)
+        else:
+            result.conditions.append(predicate)
+            result.condition_columns.extend(q_columns)
+
+    # Deduplicate bound columns (keep the first source per column).
+    seen = set()
+    deduped = []
+    for name, source in result.bound:
+        if name not in seen:
+            seen.add(name)
+            deduped.append((name, source))
+    result.bound = deduped
+    return result
+
+
+def local_equality_parts(predicate, quantifier):
+    """``q.col = constant-expr`` (or flipped) → (column name, const expr)."""
+    if not (isinstance(predicate, qe.QBinary) and predicate.op == "="):
+        return None
+    for side, other in (
+        (predicate.left, predicate.right),
+        (predicate.right, predicate.left),
+    ):
+        if (
+            isinstance(side, qe.QColRef)
+            and side.quantifier is quantifier
+            and not qe.column_refs(other)
+        ):
+            return (side.column.lower(), other)
+    return None
+
+
+def _local_equality_column(predicate, quantifier):
+    parts = local_equality_parts(predicate, quantifier)
+    return parts[0] if parts else None
+
+
+def _dependent_equality(predicate, quantifier):
+    """``q.col = <expr over eligible>`` → (column name, source expr)."""
+    if not (isinstance(predicate, qe.QBinary) and predicate.op == "="):
+        return None
+    for side, other in (
+        (predicate.left, predicate.right),
+        (predicate.right, predicate.left),
+    ):
+        if not (isinstance(side, qe.QColRef) and side.quantifier is quantifier):
+            continue
+        other_refs = qe.column_refs(other)
+        if not other_refs:
+            continue  # local constant equality, handled elsewhere
+        if any(r.quantifier is quantifier for r in other_refs):
+            continue
+        return (side.column.lower(), other)
+    return None
+
+
+def predicate_signature(predicate, quantifier):
+    """A canonical string for a local predicate pushed into an adorned copy,
+    with the quantifier name normalised — part of the adorned-copy cache key
+    so that copies pushed with different constants are kept distinct."""
+
+    def render(node):
+        if isinstance(node, qe.QColRef):
+            name = "$q" if node.quantifier is quantifier else node.quantifier.name
+            return "%s.%s" % (name, node.column.lower())
+        if isinstance(node, qe.QLiteral):
+            return repr(node.value)
+        if isinstance(node, qe.QBinary):
+            return "(%s %s %s)" % (render(node.left), node.op, render(node.right))
+        if isinstance(node, qe.QUnary):
+            return "%s(%s)" % (node.op, render(node.operand))
+        if isinstance(node, qe.QIsNull):
+            return "isnull(%s,%s)" % (render(node.operand), node.negated)
+        if isinstance(node, qe.QLike):
+            return "like(%s,%s,%s)" % (
+                render(node.operand),
+                render(node.pattern),
+                node.negated,
+            )
+        if isinstance(node, qe.QFunc):
+            return "%s(%s)" % (node.name, ",".join(render(a) for a in node.args))
+        if isinstance(node, qe.QCase):
+            parts = [
+                "%s:%s" % (render(c), render(v)) for c, v in node.branches
+            ]
+            if node.default is not None:
+                parts.append(render(node.default))
+            return "case(%s)" % ";".join(parts)
+        return str(node)
+
+    return render(predicate)

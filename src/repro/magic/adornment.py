@@ -1,0 +1,68 @@
+"""bcf adornments (§2, "Magic-sets transformation").
+
+An adornment annotates one *use* of a table (box): one letter per output
+column — ``b`` (bound by an equality predicate), ``c`` (conditioned: bound
+by a predicate other than equality), ``f`` (free). The paper writes them as
+superscripts: ``avgMgrSal^bf``, ``mgrSal^ffbf``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MagicError
+
+BOUND = "b"
+CONDITIONED = "c"
+FREE = "f"
+
+_VALID = frozenset({BOUND, CONDITIONED, FREE})
+
+
+class Adornment(str):
+    """An adornment string; validates its letters."""
+
+    def __new__(cls, text):
+        value = super().__new__(cls, text)
+        for letter in value:
+            if letter not in _VALID:
+                raise MagicError("invalid adornment letter %r in %r" % (letter, text))
+        return value
+
+    @property
+    def bound_positions(self):
+        return [i for i, letter in enumerate(self) if letter == BOUND]
+
+    @property
+    def conditioned_positions(self):
+        return [i for i, letter in enumerate(self) if letter == CONDITIONED]
+
+    @property
+    def has_conditions(self):
+        return CONDITIONED in self
+
+    @property
+    def is_all_free(self):
+        return set(self) <= {FREE}
+
+
+def all_free(column_count):
+    """The ``ff...f`` adornment of the given width."""
+    return Adornment(FREE * column_count)
+
+
+def is_all_free(adornment):
+    return adornment is None or set(adornment) <= {FREE}
+
+
+def build_adornment(box, bound_columns, conditioned_columns):
+    """Build an adornment for ``box`` given bound / conditioned output
+    column names (lower-cased). Bound wins over conditioned when both."""
+    letters = []
+    for column in box.columns:
+        name = column.name.lower()
+        if name in bound_columns:
+            letters.append(BOUND)
+        elif name in conditioned_columns:
+            letters.append(CONDITIONED)
+        else:
+            letters.append(FREE)
+    return Adornment("".join(letters))

@@ -1,0 +1,83 @@
+"""The AMQ/NMQ operation property registry (§4.2 and §5).
+
+EMST does not hard-code box kinds. Each operation type declares whether a
+box of that kind *accepts a magic quantifier* (AMQ: a new table reference
+may be added with join semantics) or not (NMQ: the magic table can only be
+*linked* and passed down to the children). A database customizer adding a
+new operation registers its properties here — "a simple property to state"
+— plus an optional pass-down handler; the EMST rule itself never changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import MagicError
+from repro.qgm.model import BoxKind
+
+
+@dataclass
+class OperationProperties:
+    """EMST-relevant properties of one box operation type.
+
+    * ``amq`` — True when a magic quantifier can be inserted into the box
+      (the inserted table joins the existing ones).
+    * ``pass_down`` — for NMQ operations: a handler
+      ``(processor, box) -> None`` that uses the box's linked magic tables
+      to restrict the box's children. None means the magic restriction is
+      simply dropped (always safe — magic only ever filters).
+    * ``processed_by_emst`` — False for operations EMST must never touch
+      (base tables).
+    """
+
+    kind: str
+    amq: bool
+    pass_down: Optional[Callable] = None
+    processed_by_emst: bool = True
+
+
+_REGISTRY = {}
+
+
+def register_operation(properties):
+    """Register (or replace) the EMST properties of a box kind."""
+    _REGISTRY[properties.kind] = properties
+    return properties
+
+
+def operation_properties(kind):
+    properties = _REGISTRY.get(kind)
+    if properties is None:
+        raise MagicError(
+            "no EMST operation properties registered for box kind %r; "
+            "customizers must call register_operation()" % kind
+        )
+    return properties
+
+
+def has_operation(kind):
+    return kind in _REGISTRY
+
+
+def is_amq(box):
+    """True when ``box`` accepts magic quantifiers (§4.2)."""
+    return operation_properties(box.kind).amq
+
+
+def _register_builtins():
+    # A select-box is AMQ; union-, groupby-, intersect- and difference-
+    # boxes are NMQ (the paper, end of §4.2). Their pass-down handlers are
+    # installed by repro.magic.emst at import time to avoid a module cycle.
+    register_operation(OperationProperties(kind=BoxKind.SELECT, amq=True))
+    register_operation(OperationProperties(kind=BoxKind.GROUPBY, amq=False))
+    register_operation(OperationProperties(kind=BoxKind.UNION, amq=False))
+    register_operation(OperationProperties(kind=BoxKind.INTERSECT, amq=False))
+    register_operation(OperationProperties(kind=BoxKind.EXCEPT, amq=False))
+    register_operation(OperationProperties(kind=BoxKind.OUTERJOIN, amq=False))
+    register_operation(
+        OperationProperties(kind=BoxKind.BASE, amq=False, processed_by_emst=False)
+    )
+
+
+_register_builtins()

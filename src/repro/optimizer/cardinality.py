@@ -1,0 +1,309 @@
+"""Cardinality and column-statistics estimation over QGM boxes.
+
+The estimator walks the graph bottom-up with memoisation, propagating
+row-count and per-column distinct-count estimates through selects,
+group-bys and set operations, in the System-R tradition: equality to a
+constant selects ``1/V`` of the rows, an equijoin selects
+``1/max(V_left, V_right)``, a range predicate selects 1/3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.qgm import expr as qe
+from repro.qgm.model import BoxKind, DistinctMode, QuantifierType
+
+EQ_DEFAULT = 0.1
+RANGE_SELECTIVITY = 1.0 / 3.0
+LIKE_SELECTIVITY = 0.1
+NOT_NULL_SELECTIVITY = 0.9
+SEMI_JOIN_SELECTIVITY = 0.5
+OR_CAP = 0.9
+#: A recursive component is estimated as its non-recursive seed times this
+#: fan-out factor (re-entrant references contribute one seed row). Crude,
+#: but it ranks a magic-restricted closure correctly against computing the
+#: closure of everything.
+RECURSION_FAN = 10.0
+
+
+@dataclass
+class ColumnEstimate:
+    """Estimated statistics of one (box, column)."""
+
+    distinct: float = 1.0
+    min_value: Optional[object] = None
+    max_value: Optional[object] = None
+
+
+class CardinalityEstimator:
+    """Estimates row counts of boxes and selectivities of predicates."""
+
+    def __init__(self, catalog):
+        self.catalog = catalog
+        self._rows = {}
+        self._columns = {}
+        self._cyclic = {}
+
+    # -- row counts ---------------------------------------------------------
+
+    def rows(self, box, _visiting=None):
+        """Estimated output cardinality of ``box`` (≥ 1.0 for planning)."""
+        cached = self._rows.get(id(box))
+        if cached is not None:
+            return cached
+        if _visiting is None:
+            _visiting = set()
+        if id(box) in _visiting:
+            return 1.0  # re-entrant reference contributes one seed row
+        _visiting = _visiting | {id(box)}
+        estimate = max(self._rows_uncached(box, _visiting), 1.0)
+        # The fan factor models fixpoint growth. It is applied once per
+        # recursive component — at its union box — not at every member
+        # (that would compound). Magic unions converge to roughly the
+        # binding set, so they get a much smaller factor; this is what lets
+        # the heuristic rank a magic-restricted closure below computing the
+        # closure of everything.
+        if box.kind == BoxKind.UNION and self._in_cycle(box):
+            estimate *= 2.0 if box.is_magic_box else RECURSION_FAN
+        self._rows[id(box)] = estimate
+        return estimate
+
+    def _in_cycle(self, box):
+        cached = self._cyclic.get(id(box))
+        if cached is not None:
+            return cached
+        seen = set()
+        stack = [q.input_box for q in box.quantifiers]
+        cyclic = False
+        while stack:
+            current = stack.pop()
+            if current is box:
+                cyclic = True
+                break
+            if id(current) in seen:
+                continue
+            seen.add(id(current))
+            for quantifier in current.quantifiers:
+                stack.append(quantifier.input_box)
+        self._cyclic[id(box)] = cyclic
+        return cyclic
+
+    def _rows_uncached(self, box, visiting):
+        if box.kind == BoxKind.BASE:
+            return float(self.catalog.statistics(box.table_name).row_count)
+        if box.kind == BoxKind.SELECT:
+            return self.select_cardinality(
+                box, box.foreach_quantifiers(), box.predicates, visiting
+            )
+        if box.kind == BoxKind.GROUPBY:
+            quantifier = box.quantifiers[0]
+            input_rows = self.rows(quantifier.input_box, visiting)
+            if not box.group_keys:
+                return 1.0
+            product = 1.0
+            for key in box.group_keys:
+                product *= self.expr_distinct(key, visiting)
+            return min(product, input_rows)
+        if box.kind == BoxKind.UNION:
+            total = sum(self.rows(q.input_box, visiting) for q in box.quantifiers)
+            if box.distinct == DistinctMode.ENFORCE:
+                total *= 0.8
+            return total
+        if box.kind == BoxKind.INTERSECT:
+            return min(
+                self.rows(q.input_box, visiting) for q in box.quantifiers
+            ) * 0.5
+        if box.kind == BoxKind.EXCEPT:
+            return self.rows(box.quantifiers[0].input_box, visiting) * 0.5
+        if box.kind == BoxKind.OUTERJOIN:
+            left = self.rows(box.quantifiers[0].input_box, visiting)
+            joined = left * self.rows(box.quantifiers[1].input_box, visiting)
+            for predicate in box.predicates:
+                joined *= self.selectivity(predicate, visiting)
+            # Preserved-side rows always survive.
+            return max(left, joined)
+        return 1000.0
+
+    def select_cardinality(self, box, quantifiers, predicates, visiting=None):
+        """Cardinality of joining ``quantifiers`` under ``predicates``
+        (used both for whole boxes and for DP subsets)."""
+        if visiting is None:
+            visiting = set()
+        cardinality = 1.0
+        available = set(quantifiers)
+        for quantifier in quantifiers:
+            cardinality *= self.rows(quantifier.input_box, visiting)
+        for predicate in predicates:
+            if self._predicate_applies(predicate, available, box):
+                cardinality *= self.selectivity(predicate, visiting)
+        for quantifier in box.quantifiers:
+            if quantifier.qtype in (QuantifierType.EXISTENTIAL, QuantifierType.ANTI):
+                cardinality *= SEMI_JOIN_SELECTIVITY
+        if box.distinct == DistinctMode.ENFORCE:
+            cardinality *= 0.9
+        return cardinality
+
+    @staticmethod
+    def _predicate_applies(predicate, available, box):
+        local = set(box.quantifiers)
+        needed = {
+            ref.quantifier
+            for ref in qe.column_refs(predicate)
+            if ref.quantifier in local
+        }
+        foreach_needed = {
+            q for q in needed if q.qtype == QuantifierType.FOREACH
+        }
+        if needed - foreach_needed:
+            return False  # involves E/A/S quantifiers: handled separately
+        return foreach_needed <= available and bool(foreach_needed)
+
+    # -- column statistics ------------------------------------------------------
+
+    def column(self, box, name, _visiting=None):
+        key = (id(box), name.lower())
+        cached = self._columns.get(key)
+        if cached is not None:
+            return cached
+        if _visiting is None:
+            _visiting = set()
+        if (id(box), name.lower()) in _visiting or id(box) in _visiting:
+            return ColumnEstimate(distinct=100.0)
+        _visiting = _visiting | {key}
+        estimate = self._column_uncached(box, name, _visiting)
+        self._columns[key] = estimate
+        return estimate
+
+    def _column_uncached(self, box, name, visiting):
+        if box.kind == BoxKind.BASE:
+            stats = self.catalog.statistics(box.table_name).column(name)
+            return ColumnEstimate(
+                distinct=float(max(stats.distinct_count, 1)),
+                min_value=stats.min_value,
+                max_value=stats.max_value,
+            )
+        rows = self.rows(box, _visiting=visiting)
+        if box.kind in (BoxKind.UNION, BoxKind.INTERSECT, BoxKind.EXCEPT):
+            child = box.quantifiers[0].input_box
+            position = box.column_ordinal(name)
+            child_name = child.columns[position].name
+            inner = self.column(child, child_name, visiting)
+            return ColumnEstimate(
+                distinct=min(inner.distinct * len(box.quantifiers), rows),
+                min_value=inner.min_value,
+                max_value=inner.max_value,
+            )
+        column = box.column(name)
+        if column.expr is None:
+            return ColumnEstimate(distinct=rows)
+        inner = self._expr_estimate(column.expr, visiting)
+        # Copy before capping: the inner estimate may be a cached object
+        # belonging to another (box, column).
+        return ColumnEstimate(
+            distinct=min(inner.distinct, rows),
+            min_value=inner.min_value,
+            max_value=inner.max_value,
+        )
+
+    def expr_distinct(self, expression, visiting=None):
+        return self._expr_estimate(expression, visiting or set()).distinct
+
+    def _expr_estimate(self, expression, visiting):
+        if isinstance(expression, qe.QColRef):
+            return self.column(
+                expression.quantifier.input_box, expression.column, visiting
+            )
+        if isinstance(expression, qe.QLiteral):
+            return ColumnEstimate(
+                distinct=1.0,
+                min_value=expression.value,
+                max_value=expression.value,
+            )
+        if isinstance(expression, qe.QAggregate):
+            return ColumnEstimate(distinct=100.0)
+        refs = qe.column_refs(expression)
+        if not refs:
+            return ColumnEstimate(distinct=1.0)
+        product = 1.0
+        for ref in refs:
+            product *= self.column(
+                ref.quantifier.input_box, ref.column, visiting
+            ).distinct
+        return ColumnEstimate(distinct=product)
+
+    # -- selectivities --------------------------------------------------------------
+
+    def selectivity(self, predicate, visiting=None):
+        """Estimated fraction of candidate rows satisfying ``predicate``."""
+        visiting = visiting or set()
+        if isinstance(predicate, qe.QBinary):
+            if predicate.op == "AND":
+                return self.selectivity(predicate.left, visiting) * self.selectivity(
+                    predicate.right, visiting
+                )
+            if predicate.op == "OR":
+                left = self.selectivity(predicate.left, visiting)
+                right = self.selectivity(predicate.right, visiting)
+                return min(left + right - left * right, OR_CAP)
+            if predicate.op == "=":
+                return self._equality_selectivity(predicate, visiting)
+            if predicate.op == "<>":
+                return 1.0 - self._equality_selectivity(predicate, visiting)
+            if predicate.op in ("<", "<=", ">", ">="):
+                return self._range_selectivity(predicate, visiting)
+        if isinstance(predicate, qe.QUnary) and predicate.op == "NOT":
+            return max(1.0 - self.selectivity(predicate.operand, visiting), 0.05)
+        if isinstance(predicate, qe.QLike):
+            return LIKE_SELECTIVITY if not predicate.negated else 1 - LIKE_SELECTIVITY
+        if isinstance(predicate, qe.QIsNull):
+            return 0.1 if not predicate.negated else NOT_NULL_SELECTIVITY
+        return 0.5
+
+    def _range_selectivity(self, predicate, visiting):
+        """Range selectivity: min/max interpolation when one side is a
+        column with a numeric range and the other a constant; 1/3 default
+        (the System-R magic constant) otherwise."""
+        for side, other, high_side in (
+            (predicate.left, predicate.right, predicate.op in (">", ">=")),
+            (predicate.right, predicate.left, predicate.op in ("<", "<=")),
+        ):
+            if not isinstance(side, qe.QColRef):
+                continue
+            if not isinstance(other, qe.QLiteral):
+                continue
+            value = other.value
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                continue
+            estimate = self._expr_estimate(side, visiting)
+            low, high = estimate.min_value, estimate.max_value
+            if (
+                isinstance(low, (int, float))
+                and isinstance(high, (int, float))
+                and not isinstance(low, bool)
+                and high > low
+            ):
+                fraction = (value - low) / (high - low)
+                fraction = min(max(fraction, 0.0), 1.0)
+                # high_side True: the column must be ABOVE the constant.
+                selectivity = (1.0 - fraction) if high_side else fraction
+                return min(max(selectivity, 0.01), 0.99)
+        return RANGE_SELECTIVITY
+
+    def _equality_selectivity(self, predicate, visiting):
+        left = self._side_distinct(predicate.left, visiting)
+        right = self._side_distinct(predicate.right, visiting)
+        if left is None and right is None:
+            return EQ_DEFAULT
+        if left is None:
+            return 1.0 / max(right, 1.0)
+        if right is None:
+            return 1.0 / max(left, 1.0)
+        return 1.0 / max(left, right, 1.0)
+
+    def _side_distinct(self, side, visiting):
+        """Distinct count of a comparison side; None for constants."""
+        if isinstance(side, qe.QLiteral):
+            return None
+        return self._expr_estimate(side, visiting).distinct

@@ -1,0 +1,180 @@
+"""Physical-plan rendering: EXPLAIN output.
+
+Synthesises, per box, the operator pipeline the evaluator will run —
+which quantifier is scanned first, which are attached by hash join vs
+nested loop, where semi/anti joins and scalar bindings apply, where
+duplicates are eliminated — annotated with the estimator's row counts.
+"""
+
+from __future__ import annotations
+
+from repro.qgm import expr as qe
+from repro.qgm.model import BoxKind, DistinctMode, QuantifierType
+from repro.qgm.stratum import reduced_dependency_graph
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.engine.evaluator import _hashable_equality
+
+
+def _child_name(quantifier):
+    child = quantifier.input_box
+    if child.kind == BoxKind.BASE:
+        return child.table_name
+    return child.name
+
+
+def _select_pipeline(box, order_names, estimator):
+    """Describe the join pipeline of one select box."""
+    foreach = box.foreach_quantifiers()
+    by_name = {q.name: q for q in foreach}
+    ordered = [by_name[n] for n in (order_names or []) if n in by_name]
+    ordered += [q for q in foreach if q not in set(ordered)]
+
+    lines = []
+    local = set(box.quantifiers)
+    bound = set()
+    applied = set()
+    for index, quantifier in enumerate(ordered):
+        applicable = []
+        for predicate in box.predicates:
+            if id(predicate) in applied:
+                continue
+            needed = {
+                r.quantifier
+                for r in qe.column_refs(predicate)
+                if r.quantifier in local
+            }
+            if needed and needed <= (bound | {quantifier}) and all(
+                q.qtype == QuantifierType.FOREACH for q in needed
+            ):
+                applicable.append(predicate)
+        hash_keys = [
+            p
+            for p in applicable
+            if _hashable_equality(p, quantifier, local, bound) is not None
+        ]
+        rows = estimator.rows(quantifier.input_box)
+        label = "magic " if quantifier.is_magic else ""
+        if index == 0:
+            op = "SCAN"
+        elif hash_keys:
+            op = "HASHJOIN"
+        else:
+            op = "NLJOIN"
+        detail = ""
+        if applicable:
+            detail = " ON " + " AND ".join(str(p) for p in applicable)
+        lines.append(
+            "%s %s%s (%s, ~%d rows)%s"
+            % (op, label, quantifier.name, _child_name(quantifier), rows, detail)
+        )
+        for predicate in applicable:
+            applied.add(id(predicate))
+        bound.add(quantifier)
+
+    for quantifier in box.quantifiers:
+        if quantifier.qtype == QuantifierType.EXISTENTIAL:
+            lines.append(
+                "SEMIJOIN %s (%s)" % (quantifier.name, _child_name(quantifier))
+            )
+        elif quantifier.qtype == QuantifierType.ANTI:
+            kind = "null-aware " if quantifier.null_aware else ""
+            lines.append(
+                "%sANTIJOIN %s (%s)"
+                % (kind.upper(), quantifier.name, _child_name(quantifier))
+            )
+        elif quantifier.qtype == QuantifierType.SCALAR:
+            mode = "decorrelated probe" if quantifier.decorrelated else "single row"
+            lines.append(
+                "SCALAR %s (%s, %s)"
+                % (quantifier.name, _child_name(quantifier), mode)
+            )
+    residual = [p for p in box.predicates if id(p) not in applied]
+    filterable = [
+        p
+        for p in residual
+        if all(
+            q.qtype == QuantifierType.FOREACH
+            for q in (
+                r.quantifier for r in qe.column_refs(p) if r.quantifier in local
+            )
+        )
+    ]
+    for predicate in filterable:
+        lines.append("FILTER %s" % predicate)
+    if box.distinct == DistinctMode.ENFORCE:
+        lines.append("DISTINCT")
+    return lines
+
+
+def physical_plan(graph, plan=None, catalog=None):
+    """Render the evaluator's physical plan for ``graph``.
+
+    ``plan`` is a :class:`~repro.optimizer.plan.GraphPlan` (for join
+    orders); without one, declaration order is assumed.
+    """
+    catalog = catalog or graph.catalog
+    estimator = CardinalityEstimator(catalog)
+    join_orders = plan.join_orders if plan is not None else {}
+
+    components, _ = reduced_dependency_graph(graph)
+    lines = []
+    for component in components:
+        recursive = len(component) > 1 or any(
+            q.input_box is component[0] for q in component[0].quantifiers
+        )
+        for box in component:
+            if box.kind == BoxKind.BASE:
+                continue
+            header = "%s %s (~%d rows)" % (box.kind, box.name, estimator.rows(box))
+            if box is graph.top_box:
+                header = "RETURN " + header
+            elif recursive:
+                header = "FIXPOINT " + header
+            else:
+                header = "MATERIALIZE " + header
+            lines.append(header)
+            if box.kind == BoxKind.SELECT:
+                for line in _select_pipeline(
+                    box, join_orders.get(box.box_id), estimator
+                ):
+                    lines.append("  " + line)
+            elif box.kind == BoxKind.GROUPBY:
+                keys = ", ".join(str(k) for k in box.group_keys) or "()"
+                aggs = ", ".join(
+                    str(c.expr)
+                    for c in box.columns
+                    if isinstance(c.expr, qe.QAggregate)
+                )
+                lines.append(
+                    "  GROUPBY [%s] aggregates [%s] over %s"
+                    % (keys, aggs, _child_name(box.quantifiers[0]))
+                )
+            elif box.kind == BoxKind.OUTERJOIN:
+                left, right = box.quantifiers
+                lines.append(
+                    "  LEFT OUTER JOIN %s (%s) with %s (%s) ON %s"
+                    % (
+                        left.name,
+                        _child_name(left),
+                        right.name,
+                        _child_name(right),
+                        " AND ".join(str(p) for p in box.predicates),
+                    )
+                )
+            else:
+                inputs = ", ".join(_child_name(q) for q in box.quantifiers)
+                mode = (
+                    "DISTINCT"
+                    if box.distinct == DistinctMode.ENFORCE
+                    else "ALL"
+                )
+                lines.append("  %s %s over [%s]" % (box.kind, mode, inputs))
+    if graph.order_by:
+        keys = ", ".join(
+            "#%d %s" % (ordinal + 1, "ASC" if ascending else "DESC")
+            for ordinal, ascending in graph.order_by
+        )
+        lines.append("SORT %s" % keys)
+    if graph.limit is not None:
+        lines.append("LIMIT %d" % graph.limit)
+    return "\n".join(lines)

@@ -1,0 +1,118 @@
+"""Renderers for QGM graphs: indented text and Graphviz DOT.
+
+Used by the examples and by the figure benchmarks to print the box
+inventories the paper shows in Figures 1 and 4.
+"""
+
+from __future__ import annotations
+
+from repro.qgm.model import BoxKind, DistinctMode, MagicRole
+
+
+def _box_label(box):
+    parts = [box.kind]
+    if box.magic_role != MagicRole.REGULAR:
+        parts.append(box.magic_role)
+    label = "%s %s" % ("/".join(parts), box.name)
+    if box.adornment:
+        label += "^" + box.adornment
+    if box.distinct == DistinctMode.ENFORCE:
+        label += " DISTINCT"
+    return label
+
+
+def render_text(graph):
+    """Render the graph as indented text, one box per line plus details."""
+    lines = []
+    seen = set()
+
+    def visit(box, depth):
+        indent = "  " * depth
+        if id(box) in seen:
+            lines.append("%s-> %s (shared)" % (indent, _box_label(box)))
+            return
+        seen.add(id(box))
+        lines.append("%s%s" % (indent, _box_label(box)))
+        if box.kind == BoxKind.BASE:
+            lines.append("%s  table: %s(%s)" % (indent, box.table_name, ", ".join(box.column_names)))
+            return
+        if box.columns:
+            rendered = []
+            for column in box.columns:
+                if column.expr is None:
+                    rendered.append(column.name)
+                else:
+                    rendered.append("%s=%s" % (column.name, column.expr))
+            lines.append("%s  out: %s" % (indent, ", ".join(rendered)))
+        if box.group_keys:
+            lines.append(
+                "%s  group by: %s" % (indent, ", ".join(str(k) for k in box.group_keys))
+            )
+        for predicate in box.predicates:
+            lines.append("%s  pred: %s" % (indent, predicate))
+        for quantifier in box.quantifiers:
+            flags = quantifier.qtype
+            if quantifier.is_magic:
+                flags += ",magic"
+            lines.append("%s  q %s(%s):" % (indent, quantifier.name, flags))
+            visit(quantifier.input_box, depth + 2)
+        for magic in box.linked_magic:
+            lines.append("%s  linked-magic:" % indent)
+            visit(magic, depth + 2)
+
+    if graph.top_box is not None:
+        visit(graph.top_box, 0)
+    return "\n".join(lines)
+
+
+def render_dot(graph):
+    """Render the graph in Graphviz DOT (arcs from producer to consumer,
+    matching the paper's figures)."""
+    lines = ["digraph qgm {", "  rankdir=BT;", '  node [shape=box, fontname="Helvetica"];']
+    boxes = graph.boxes()
+    for box in boxes:
+        shape = "box"
+        style = ""
+        if box.kind == BoxKind.BASE:
+            shape = "cylinder"
+        if box.magic_role in (MagicRole.MAGIC, MagicRole.CONDITION_MAGIC):
+            style = ', style=filled, fillcolor="lightblue"'
+        elif box.magic_role == MagicRole.SUPPLEMENTARY:
+            style = ', style=filled, fillcolor="lightyellow"'
+        lines.append(
+            '  b%d [label="%s", shape=%s%s];' % (box.box_id, _box_label(box), shape, style)
+        )
+    for box in boxes:
+        for quantifier in box.quantifiers:
+            attrs = 'label="%s:%s"' % (quantifier.name, quantifier.qtype)
+            if quantifier.is_magic:
+                attrs += ", color=blue"
+            lines.append(
+                "  b%d -> b%d [%s];" % (quantifier.input_box.box_id, box.box_id, attrs)
+            )
+        for magic in box.linked_magic:
+            lines.append(
+                '  b%d -> b%d [style=dashed, label="magic-link"];'
+                % (magic.box_id, box.box_id)
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def graph_summary(graph):
+    """One-line complexity summary: boxes / quantifiers / predicates.
+
+    The figure benchmarks use this to reproduce the paper's
+    "more boxes, more joins, yet faster" observation.
+    """
+    boxes, quantifiers, predicates = graph.summary_counts()
+    kinds = {}
+    for box in graph.boxes():
+        kinds[box.kind] = kinds.get(box.kind, 0) + 1
+    kind_text = ", ".join("%s=%d" % (k, v) for k, v in sorted(kinds.items()))
+    return "boxes=%d (%s) quantifiers=%d predicates=%d" % (
+        boxes,
+        kind_text,
+        quantifiers,
+        predicates,
+    )

@@ -1,0 +1,170 @@
+"""Render a QGM graph back to SQL text, one statement per box.
+
+Reproduces the presentation of the paper's Figure 5: each non-base box
+becomes a view definition ``name AS (SELECT ...)`` and the top box becomes
+the query statement. Magic and supplementary boxes render like any other
+select box (to other rules — and to the reader — they are ordinary boxes).
+"""
+
+from __future__ import annotations
+
+from repro.qgm import expr as qe
+from repro.qgm.model import BoxKind, DistinctMode, QuantifierType
+
+
+def _value(literal):
+    if literal is None:
+        return "NULL"
+    if literal is True:
+        return "TRUE"
+    if literal is False:
+        return "FALSE"
+    if isinstance(literal, str):
+        return "'%s'" % literal.replace("'", "''")
+    return str(literal)
+
+
+def expr_to_sql(expr):
+    """Render a QGM expression with quantifier-qualified column names."""
+    if isinstance(expr, qe.QLiteral):
+        return _value(expr.value)
+    if isinstance(expr, qe.QColRef):
+        return "%s.%s" % (expr.quantifier.name, expr.column)
+    if isinstance(expr, qe.QBinary):
+        return "%s %s %s" % (
+            _maybe_paren(expr.left),
+            expr.op,
+            _maybe_paren(expr.right),
+        )
+    if isinstance(expr, qe.QUnary):
+        if expr.op == "NOT":
+            return "NOT (%s)" % expr_to_sql(expr.operand)
+        return "-%s" % _maybe_paren(expr.operand)
+    if isinstance(expr, qe.QIsNull):
+        return "%s IS %sNULL" % (
+            _maybe_paren(expr.operand),
+            "NOT " if expr.negated else "",
+        )
+    if isinstance(expr, qe.QLike):
+        return "%s %sLIKE %s" % (
+            _maybe_paren(expr.operand),
+            "NOT " if expr.negated else "",
+            expr_to_sql(expr.pattern),
+        )
+    if isinstance(expr, qe.QFunc):
+        return "%s(%s)" % (expr.name, ", ".join(expr_to_sql(a) for a in expr.args))
+    if isinstance(expr, qe.QAggregate):
+        inner = "*" if expr.arg is None else expr_to_sql(expr.arg)
+        if expr.distinct:
+            inner = "DISTINCT " + inner
+        return "%s(%s)" % (expr.func, inner)
+    if isinstance(expr, qe.QCase):
+        parts = ["CASE"]
+        for cond, value in expr.branches:
+            parts.append("WHEN %s THEN %s" % (expr_to_sql(cond), expr_to_sql(value)))
+        if expr.default is not None:
+            parts.append("ELSE %s" % expr_to_sql(expr.default))
+        parts.append("END")
+        return " ".join(parts)
+    return str(expr)
+
+
+def _maybe_paren(expr):
+    if isinstance(expr, (qe.QLiteral, qe.QColRef, qe.QFunc, qe.QAggregate)):
+        return expr_to_sql(expr)
+    return "(%s)" % expr_to_sql(expr)
+
+
+def box_to_sql(box):
+    """Render one box as a SELECT (or set-operation) statement body."""
+    if box.kind == BoxKind.BASE:
+        return box.table_name
+    if box.kind in (BoxKind.UNION, BoxKind.INTERSECT, BoxKind.EXCEPT):
+        keyword = {
+            BoxKind.UNION: "UNION",
+            BoxKind.INTERSECT: "INTERSECT",
+            BoxKind.EXCEPT: "EXCEPT",
+        }[box.kind]
+        if box.distinct != DistinctMode.ENFORCE:
+            keyword += " ALL"
+        parts = [
+            "SELECT * FROM %s" % quantifier.input_box.name
+            for quantifier in box.quantifiers
+        ]
+        return (" %s " % keyword).join(parts)
+    if box.kind == BoxKind.OUTERJOIN:
+        left, right = box.quantifiers
+        select_list = ", ".join(
+            "%s AS %s" % (expr_to_sql(c.expr), c.name) for c in box.columns
+        )
+        def _name(q):
+            child = q.input_box
+            return child.table_name if child.kind == BoxKind.BASE else child.name
+        return "SELECT %s FROM %s %s LEFT OUTER JOIN %s %s ON %s" % (
+            select_list,
+            _name(left), left.name,
+            _name(right), right.name,
+            " AND ".join(expr_to_sql(p) for p in box.predicates) or "TRUE",
+        )
+    distinct = "DISTINCT " if box.distinct == DistinctMode.ENFORCE else ""
+    select_list = ", ".join(
+        "%s AS %s" % (expr_to_sql(column.expr), column.name)
+        if column.expr is not None
+        else column.name
+        for column in box.columns
+    )
+    from_parts = []
+    where_parts = [expr_to_sql(p) for p in box.predicates]
+    for quantifier in box.quantifiers:
+        child_name = (
+            quantifier.input_box.table_name
+            if quantifier.input_box.kind == BoxKind.BASE
+            else quantifier.input_box.name
+        )
+        if quantifier.qtype == QuantifierType.FOREACH:
+            from_parts.append("%s %s" % (child_name, quantifier.name))
+        elif quantifier.qtype == QuantifierType.EXISTENTIAL:
+            where_parts.append(
+                "EXISTS (SELECT * FROM %s %s)" % (child_name, quantifier.name)
+            )
+        elif quantifier.qtype == QuantifierType.ANTI:
+            where_parts.append(
+                "NOT EXISTS (SELECT * FROM %s %s)" % (child_name, quantifier.name)
+            )
+        else:
+            from_parts.append("SCALAR(%s) %s" % (child_name, quantifier.name))
+    text = "SELECT %s%s FROM %s" % (distinct, select_list, ", ".join(from_parts) or "VALUES()")
+    if where_parts:
+        text += " WHERE %s" % " AND ".join(where_parts)
+    if box.kind == BoxKind.GROUPBY:
+        text = "SELECT %s%s FROM %s" % (
+            distinct,
+            select_list,
+            ", ".join(from_parts),
+        )
+        if box.group_keys:
+            text += " GROUP BY %s" % ", ".join(expr_to_sql(k) for k in box.group_keys)
+        else:
+            text += " GROUP BY ()"
+    return text
+
+
+def graph_to_sql(graph):
+    """Render the whole graph as a list of statements (producers first),
+    the way Figure 5 lists D0–D2 / SD0–SD5."""
+    from repro.qgm.stratum import reduced_dependency_graph
+
+    components, _ = reduced_dependency_graph(graph)
+    statements = []
+    for component in components:
+        for box in component:
+            if box.kind == BoxKind.BASE:
+                continue
+            adorned = "^%s" % box.adornment if box.adornment else ""
+            if box is graph.top_box:
+                statements.append("(QUERY): %s" % box_to_sql(box))
+            else:
+                statements.append(
+                    "%s%s AS (%s)" % (box.name, adorned, box_to_sql(box))
+                )
+    return statements

@@ -1,0 +1,29 @@
+"""Rule-based query rewrite (§3.1 of the paper, after [PHH92]).
+
+A production-rule engine walks the query graph depth-first and forward
+chains rewrite rules to a fixpoint. The three-phase control of §3.3 is
+implemented by :meth:`RewriteEngine.run_phase`: phase 1 runs every rule
+except EMST, phase 2 adds EMST (with join orders from the plan optimizer),
+phase 3 disables EMST and cleans up the graph EMST produced.
+"""
+
+from repro.rewrite.rule import RewriteRule, RuleContext
+from repro.rewrite.engine import RewriteEngine, default_rules
+from repro.rewrite.merge import MergeRule
+from repro.rewrite.pushdown import PredicatePushdownRule, push_predicate_into_child
+from repro.rewrite.projection import ProjectionPruneRule
+from repro.rewrite.redundant_join import RedundantJoinRule
+from repro.rewrite.distinct import DistinctPullupRule
+
+__all__ = [
+    "RewriteRule",
+    "RuleContext",
+    "RewriteEngine",
+    "default_rules",
+    "MergeRule",
+    "PredicatePushdownRule",
+    "push_predicate_into_child",
+    "ProjectionPruneRule",
+    "RedundantJoinRule",
+    "DistinctPullupRule",
+]

@@ -1,0 +1,33 @@
+"""The distinct-pullup rule.
+
+Relaxes ``DISTINCT`` enforcement to ``PERMIT`` when the box's output is
+provably duplicate-free without it. The paper uses this rule twice during
+phase 2 (Example 4.1) — the magic boxes EMST builds carry SELECT DISTINCT,
+and proving the DISTINCT redundant is what later allows the merge rule to
+fold them away in phase 3 ("This merge was possible only because we
+inferred, in phase 2, that duplicates were guaranteed to be absent from the
+magic tables").
+"""
+
+from __future__ import annotations
+
+from repro.qgm.keys import is_duplicate_free
+from repro.qgm.model import DistinctMode
+from repro.rewrite.rule import RewriteRule
+
+
+class DistinctPullupRule(RewriteRule):
+    """ENFORCE → PERMIT when duplicate-freeness is provable."""
+
+    name = "distinct-pullup"
+    phases = frozenset({1, 2, 3})
+    priority = 20
+
+    def applies_to(self, box, context):
+        return box.distinct == DistinctMode.ENFORCE
+
+    def apply(self, box, context):
+        if is_duplicate_free(box, ignore_enforce=True):
+            box.distinct = DistinctMode.PERMIT
+            return True
+        return False

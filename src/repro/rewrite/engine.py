@@ -1,0 +1,84 @@
+"""The forward-chaining rewrite engine with a depth-first cursor.
+
+Mirrors the paper's description: "A cursor facility traverses the query
+blocks depth first ... and a forward chaining engine applies the rules,
+including the EMST rule, at each query block."
+"""
+
+from __future__ import annotations
+
+from repro.errors import RewriteError
+from repro.rewrite.rule import RuleContext
+
+_MAX_SWEEPS = 200
+
+
+class RewriteEngine:
+    """Applies a set of rewrite rules to a query graph, phase by phase."""
+
+    def __init__(self, rules=None):
+        self.rules = sorted(rules or default_rules(), key=lambda r: r.priority)
+
+    def add_rule(self, rule):
+        """Register an additional rule (extensibility hook)."""
+        self.rules.append(rule)
+        self.rules.sort(key=lambda r: r.priority)
+
+    def run_phase(self, graph, phase, join_orders=None, context=None):
+        """Run one rewrite phase to a fixpoint; returns the RuleContext
+        (with per-rule firing counts)."""
+        if context is None:
+            context = RuleContext(graph, phase=phase, join_orders=join_orders)
+        else:
+            context.phase = phase
+            if join_orders is not None:
+                context.join_orders.update(join_orders)
+        active = [rule for rule in self.rules if phase in rule.phases]
+        sweeps = 0
+        changed = True
+        while changed:
+            sweeps += 1
+            if sweeps > _MAX_SWEEPS:
+                raise RewriteError(
+                    "rewrite phase %d did not reach a fixpoint in %d sweeps"
+                    % (phase, _MAX_SWEEPS)
+                )
+            changed = False
+            # The cursor: depth-first over the current graph. The box list
+            # is recomputed each sweep because rules mutate the graph.
+            for box in graph.boxes():
+                for rule in active:
+                    if not rule.applies_to(box, context):
+                        continue
+                    if rule.apply(box, context):
+                        context.record_firing(rule.name)
+                        changed = True
+        return context
+
+
+def default_rules(include_emst=False, emst_rule=None):
+    """The standard rule set. EMST is added separately because it needs the
+    join-order oracle (see :mod:`repro.magic.emst`); pass ``emst_rule`` to
+    use a configured variant (e.g. plain magic without supplementaries)."""
+    from repro.rewrite.merge import MergeRule
+    from repro.rewrite.pushdown import PredicatePushdownRule
+    from repro.rewrite.projection import ProjectionPruneRule
+    from repro.rewrite.redundant_join import RedundantJoinRule
+    from repro.rewrite.distinct import DistinctPullupRule
+    from repro.rewrite.local_magic import LocalMagicRule
+
+    rules = [
+        DistinctPullupRule(),
+        PredicatePushdownRule(),
+        LocalMagicRule(),
+        RedundantJoinRule(),
+        MergeRule(),
+        ProjectionPruneRule(),
+    ]
+    if include_emst or emst_rule is not None:
+        if emst_rule is None:
+            from repro.magic.emst import EmstRule
+
+            emst_rule = EmstRule()
+        rules.append(emst_rule)
+    return rules

@@ -1,0 +1,52 @@
+"""Projection pruning: drop output columns nobody reads.
+
+EMST's adorned copies often expose columns their single consumer never
+references; pruning them shrinks intermediate results. Pruning is unsafe on
+boxes that enforce DISTINCT (the column set defines the duplicate-
+elimination key) and on the positional children of set operations.
+"""
+
+from __future__ import annotations
+
+from repro.qgm.model import BoxKind, DistinctMode
+from repro.rewrite.rule import RewriteRule
+from repro.rewrite.common import referenced_output_columns, total_uses
+
+
+class ProjectionPruneRule(RewriteRule):
+    """Remove unused output columns of derived boxes."""
+
+    name = "projection-prune"
+    phases = frozenset({1, 3})
+    priority = 80
+
+    def applies_to(self, box, context):
+        return box.kind in (BoxKind.SELECT, BoxKind.GROUPBY)
+
+    def apply(self, box, context):
+        graph = context.graph
+        if box is graph.top_box:
+            return False
+        if box.distinct == DistinctMode.ENFORCE:
+            return False
+        if context.phase < 3 and box.is_special:
+            return False
+        # Positional consumers (set ops) forbid pruning.
+        for consumer in graph.boxes():
+            for quantifier in consumer.quantifiers:
+                if quantifier.input_box is box and consumer.kind in (
+                    BoxKind.UNION,
+                    BoxKind.INTERSECT,
+                    BoxKind.EXCEPT,
+                ):
+                    return False
+        if total_uses(graph, box) < 1:
+            return False
+        used = referenced_output_columns(graph, box)
+        keep = [c for c in box.columns if c.name.lower() in used]
+        if not keep:
+            keep = box.columns[:1]  # a box must output something
+        if len(keep) == len(box.columns):
+            return False
+        box.columns = keep
+        return True

@@ -1,0 +1,94 @@
+"""Redundant join elimination.
+
+When a select box joins two quantifiers over the *same* box on a full key
+of that box, the second quantifier is the same row as the first and can be
+removed (its references redirected). This is the common pattern left behind
+by view expansion — e.g. query D references ``department`` both directly
+and through ``mgrSal``.
+"""
+
+from __future__ import annotations
+
+from repro.qgm import expr as qe
+from repro.qgm.keys import box_keys
+from repro.qgm.model import BoxKind, QuantifierType
+from repro.rewrite.rule import RewriteRule
+from repro.rewrite.common import substitute_everywhere
+
+
+class RedundantJoinRule(RewriteRule):
+    """Eliminate self-joins on a full key."""
+
+    name = "redundant-join"
+    phases = frozenset({1, 3})
+    priority = 60
+
+    def applies_to(self, box, context):
+        if box.kind != BoxKind.SELECT:
+            return False
+        targets = [q.input_box for q in box.foreach_quantifiers()]
+        return len(targets) != len({id(t) for t in targets})
+
+    def apply(self, box, context):
+        foreach = box.foreach_quantifiers()
+        for i, first in enumerate(foreach):
+            for second in foreach[i + 1 :]:
+                if first.input_box is not second.input_box:
+                    continue
+                matched = self._key_equated(box, first, second)
+                if matched is None:
+                    continue
+                self._eliminate(box, first, second, matched, context)
+                return True
+        return False
+
+    def _key_equated(self, box, first, second):
+        """If the box equates a full key of the shared child between the two
+        quantifiers, return the list of those equality predicates."""
+        pairs = {}
+        predicates_by_column = {}
+        for predicate in box.predicates:
+            sides = qe.equality_sides(predicate)
+            if sides is None:
+                continue
+            left, right = sides
+            pair = None
+            if left.quantifier is first and right.quantifier is second:
+                pair = (left.column.lower(), right.column.lower())
+            elif left.quantifier is second and right.quantifier is first:
+                pair = (right.column.lower(), left.column.lower())
+            if pair and pair[0] == pair[1]:
+                pairs[pair[0]] = True
+                predicates_by_column[pair[0]] = predicate
+        for key in box_keys(first.input_box):
+            if key and all(column in pairs for column in key):
+                return [predicates_by_column[column] for column in key]
+        return None
+
+    def _eliminate(self, box, keep, drop, key_predicates, context):
+        def mapping(ref):
+            if ref.quantifier is drop:
+                return qe.QColRef(quantifier=keep, column=ref.column)
+            return None
+
+        box.remove_quantifier(drop)
+        substitute_everywhere(context.graph, mapping)
+        # The key-equality predicates became trivial self-equalities; remove
+        # them (they would only re-filter NULL keys, and key columns of a
+        # declared key are non-null in our model).
+        box.predicates = [
+            p
+            for p in box.predicates
+            if not _is_trivial_self_equality(p)
+        ]
+        order = context.join_orders.get(box.box_id)
+        if order and drop.name in order:
+            context.join_orders[box.box_id] = [n for n in order if n != drop.name]
+
+
+def _is_trivial_self_equality(predicate):
+    sides = qe.equality_sides(predicate)
+    if sides is None:
+        return False
+    left, right = sides
+    return left.quantifier is right.quantifier and left.column == right.column

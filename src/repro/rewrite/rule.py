@@ -1,0 +1,45 @@
+"""The rewrite-rule protocol and the shared rule context."""
+
+from __future__ import annotations
+
+
+class RuleContext:
+    """State shared by rules during one rewrite run.
+
+    ``join_orders`` is the oracle produced by plan-optimization pass 1
+    (box id → ordered quantifier names); only the EMST rule consumes it.
+    ``phase`` is the current rewrite phase (1, 2 or 3, see Figure 3).
+    """
+
+    def __init__(self, graph, phase=1, join_orders=None):
+        self.graph = graph
+        self.phase = phase
+        self.join_orders = dict(join_orders or {})
+        self.firing_counts = {}
+
+    def record_firing(self, rule_name):
+        self.firing_counts[rule_name] = self.firing_counts.get(rule_name, 0) + 1
+
+
+class RewriteRule:
+    """Base class for rewrite rules.
+
+    A rule declares the phases it is active in and implements ``apply``,
+    which inspects one box and returns True when it changed the graph.
+    Rules fire repeatedly (forward chaining) until no rule fires anywhere.
+    """
+
+    #: Unique rule name (used in firing statistics and tests).
+    name = "abstract"
+    #: Phases in which the engine activates the rule.
+    phases = frozenset({1, 2, 3})
+    #: Lower runs earlier within a box.
+    priority = 100
+
+    def applies_to(self, box, context):
+        """Cheap guard; ``apply`` is only called when this returns True."""
+        return True
+
+    def apply(self, box, context):
+        """Try to rewrite at ``box``; return True when the graph changed."""
+        raise NotImplementedError

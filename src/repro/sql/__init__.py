@@ -1,0 +1,25 @@
+"""SQL front end: lexer, parser, AST and SQL pretty-printer.
+
+The supported dialect is the SQL subset used throughout the paper:
+``SELECT [DISTINCT] ... FROM ... [WHERE ...] [GROUP BY ...] [HAVING ...]``
+blocks, set operations (``UNION/INTERSECT/EXCEPT [ALL]``), ``CREATE VIEW``
+and ``WITH [RECURSIVE]`` view definitions, ``IN``/``EXISTS``/scalar
+subqueries with correlation, ``DISTINCT`` aggregates, ``BETWEEN``, ``LIKE``
+and ``IS [NOT] NULL``.
+"""
+
+from repro.sql import ast
+from repro.sql.lexer import Lexer, tokenize
+from repro.sql.parser import Parser, parse_script, parse_statement, parse_expression
+from repro.sql.printer import to_sql
+
+__all__ = [
+    "ast",
+    "Lexer",
+    "tokenize",
+    "Parser",
+    "parse_script",
+    "parse_statement",
+    "parse_expression",
+    "to_sql",
+]

@@ -1,0 +1,397 @@
+"""Abstract syntax tree for the SQL subset.
+
+All nodes are plain dataclasses. Expression nodes share the :class:`Expr`
+base and statement nodes the :class:`Statement` base. The tree is what the
+parser produces and what the QGM builder consumes; it deliberately stays
+close to the surface syntax (names are unresolved strings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+class Node:
+    """Common base for all AST nodes."""
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr(Node):
+    """Base class for expression nodes."""
+
+    def children(self):
+        """Yield direct sub-expressions (used by generic walkers)."""
+        return ()
+
+
+@dataclass
+class Literal(Expr):
+    """A constant: int, float, str, bool or None (SQL NULL)."""
+
+    value: object
+
+
+@dataclass
+class ColumnRef(Expr):
+    """A possibly-qualified column reference ``[table.]column``."""
+
+    column: str
+    table: Optional[str] = None
+
+    def __str__(self):
+        if self.table:
+            return "%s.%s" % (self.table, self.column)
+        return self.column
+
+
+@dataclass
+class Star(Expr):
+    """``*`` or ``table.*`` in a select list or COUNT(*)."""
+
+    table: Optional[str] = None
+
+
+@dataclass
+class UnaryOp(Expr):
+    """Unary operator: ``-expr`` or ``NOT expr``."""
+
+    op: str
+    operand: Expr
+
+    def children(self):
+        return (self.operand,)
+
+
+@dataclass
+class BinaryOp(Expr):
+    """Binary operator node.
+
+    ``op`` is one of: ``AND OR = <> < <= > >= + - * / % ||``.
+    """
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def children(self):
+        return (self.left, self.right)
+
+
+@dataclass
+class Between(Expr):
+    """``expr [NOT] BETWEEN low AND high``."""
+
+    expr: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+    def children(self):
+        return (self.expr, self.low, self.high)
+
+
+@dataclass
+class InList(Expr):
+    """``expr [NOT] IN (literal, ...)``."""
+
+    expr: Expr
+    items: List[Expr]
+    negated: bool = False
+
+    def children(self):
+        return tuple([self.expr] + list(self.items))
+
+
+@dataclass
+class InSubquery(Expr):
+    """``expr [NOT] IN (SELECT ...)``."""
+
+    expr: Expr
+    query: "Query"
+    negated: bool = False
+
+    def children(self):
+        return (self.expr,)
+
+
+@dataclass
+class Exists(Expr):
+    """``[NOT] EXISTS (SELECT ...)``."""
+
+    query: "Query"
+    negated: bool = False
+
+
+@dataclass
+class QuantifiedComparison(Expr):
+    """``expr op ANY|ALL (SELECT ...)`` (``SOME`` is an alias for ``ANY``)."""
+
+    left: Expr
+    op: str
+    quantifier: str  # "ANY" | "ALL"
+    query: "Query"
+
+    def children(self):
+        return (self.left,)
+
+
+@dataclass
+class ScalarSubquery(Expr):
+    """A subquery used as a scalar value."""
+
+    query: "Query"
+
+
+@dataclass
+class IsNull(Expr):
+    """``expr IS [NOT] NULL``."""
+
+    expr: Expr
+    negated: bool = False
+
+    def children(self):
+        return (self.expr,)
+
+
+@dataclass
+class Like(Expr):
+    """``expr [NOT] LIKE pattern``."""
+
+    expr: Expr
+    pattern: Expr
+    negated: bool = False
+
+    def children(self):
+        return (self.expr, self.pattern)
+
+
+@dataclass
+class FuncCall(Expr):
+    """Function or aggregate call ``name([DISTINCT] args)``.
+
+    ``COUNT(*)`` is represented with a single :class:`Star` argument.
+    """
+
+    name: str
+    args: List[Expr] = field(default_factory=list)
+    distinct: bool = False
+
+    def children(self):
+        return tuple(self.args)
+
+
+@dataclass
+class CaseWhen(Expr):
+    """``CASE WHEN cond THEN value ... [ELSE value] END`` (searched form)."""
+
+    branches: List[Tuple[Expr, Expr]]
+    default: Optional[Expr] = None
+
+    def children(self):
+        out = []
+        for cond, value in self.branches:
+            out.append(cond)
+            out.append(value)
+        if self.default is not None:
+            out.append(self.default)
+        return tuple(out)
+
+
+#: Aggregate function names recognised by the builder and the engine.
+#: Extensible: :func:`repro.engine.aggregates.register_aggregate` adds to it.
+AGGREGATE_FUNCTIONS = {"COUNT", "SUM", "AVG", "MIN", "MAX", "STDDEV", "VARIANCE"}
+
+
+def is_aggregate_call(expr):
+    """Return True when ``expr`` is a call to an aggregate function."""
+    return isinstance(expr, FuncCall) and expr.name.upper() in AGGREGATE_FUNCTIONS
+
+
+def contains_aggregate(expr):
+    """Return True when ``expr`` or any sub-expression is an aggregate call."""
+    if is_aggregate_call(expr):
+        return True
+    return any(contains_aggregate(child) for child in expr.children())
+
+
+def walk(expr):
+    """Yield ``expr`` and every sub-expression, depth first."""
+    yield expr
+    for child in expr.children():
+        for node in walk(child):
+            yield node
+
+
+# ---------------------------------------------------------------------------
+# Queries and statements
+# ---------------------------------------------------------------------------
+
+
+class Statement(Node):
+    """Base class for statements."""
+
+
+@dataclass
+class SelectItem(Node):
+    """One item of a select list: expression with optional alias."""
+
+    expr: Expr
+    alias: Optional[str] = None
+
+
+@dataclass
+class TableRef(Node):
+    """A named table or view in a FROM clause, with optional alias."""
+
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding_name(self):
+        """The name this reference is known by inside the block."""
+        return self.alias or self.name
+
+
+@dataclass
+class SubqueryRef(Node):
+    """A derived table ``(SELECT ...) AS alias`` in a FROM clause."""
+
+    query: "Query"
+    alias: str
+
+    @property
+    def binding_name(self):
+        return self.alias
+
+
+@dataclass
+class JoinRef(Node):
+    """``left [INNER|LEFT [OUTER]] JOIN right ON condition``.
+
+    ``kind`` is "INNER" or "LEFT". Join chains associate left.
+    """
+
+    left: Node  # TableRef | SubqueryRef | JoinRef
+    right: Node  # TableRef | SubqueryRef
+    kind: str
+    condition: Expr
+
+
+@dataclass
+class SelectCore(Node):
+    """A single SELECT block (the paper's *block*)."""
+
+    items: List[SelectItem]
+    from_tables: List[Node]  # TableRef | SubqueryRef
+    where: Optional[Expr] = None
+    group_by: List[Expr] = field(default_factory=list)
+    having: Optional[Expr] = None
+    distinct: bool = False
+
+
+@dataclass
+class SetOp(Node):
+    """``left UNION|INTERSECT|EXCEPT [ALL] right``."""
+
+    op: str  # "UNION" | "INTERSECT" | "EXCEPT"
+    all: bool
+    left: Node  # SelectCore | SetOp
+    right: Node
+
+
+@dataclass
+class OrderItem(Node):
+    """One ORDER BY key."""
+
+    expr: Expr
+    ascending: bool = True
+
+
+@dataclass
+class Query(Statement):
+    """A full query: body plus optional ORDER BY / LIMIT.
+
+    ``ctes`` holds ``WITH [RECURSIVE]`` view definitions local to the query.
+    """
+
+    body: Node  # SelectCore | SetOp
+    order_by: List[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+    ctes: List["CreateView"] = field(default_factory=list)
+    recursive_ctes: bool = False
+
+
+@dataclass
+class CreateView(Statement):
+    """``CREATE [RECURSIVE] VIEW name [(col, ...)] AS query``."""
+
+    name: str
+    query: Query
+    columns: Optional[List[str]] = None
+    recursive: bool = False
+
+
+@dataclass
+class TableColumn(Node):
+    """One column in a CREATE TABLE: name, optional type, inline flags."""
+
+    name: str
+    type_name: str = "ANY"
+    primary_key: bool = False
+    unique: bool = False
+
+
+@dataclass
+class CreateTable(Statement):
+    """``CREATE TABLE name (col [type] [PRIMARY KEY|UNIQUE], ...,
+    [PRIMARY KEY (cols)] [, UNIQUE (cols)]*)``."""
+
+    name: str
+    columns: List[TableColumn]
+    primary_key: Optional[List[str]] = None
+    unique_keys: List[List[str]] = field(default_factory=list)
+
+
+@dataclass
+class InsertValues(Statement):
+    """``INSERT INTO name VALUES (e, ...), (e, ...)`` — constant rows."""
+
+    table: str
+    rows: List[List[Expr]]
+
+
+@dataclass
+class Delete(Statement):
+    """``DELETE FROM name [WHERE condition]``."""
+
+    table: str
+    where: Optional[Expr] = None
+
+
+@dataclass
+class Update(Statement):
+    """``UPDATE name SET col = expr [, ...] [WHERE condition]``."""
+
+    table: str
+    assignments: List[Tuple[str, Expr]] = field(default_factory=list)
+    where: Optional[Expr] = None
+
+
+@dataclass
+class Script(Node):
+    """A sequence of statements: zero or more view definitions and queries."""
+
+    statements: List[Statement] = field(default_factory=list)
+
+    @property
+    def views(self):
+        return [s for s in self.statements if isinstance(s, CreateView)]
+
+    @property
+    def queries(self):
+        return [s for s in self.statements if isinstance(s, Query)]

@@ -1,0 +1,192 @@
+"""Hand-written lexer for the SQL subset.
+
+The lexer is a straightforward single-pass scanner. It understands:
+
+* identifiers (``[A-Za-z_][A-Za-z0-9_$#]*``) and double-quoted identifiers,
+* keywords (case-insensitive, normalised to upper case),
+* integer and decimal literals (with optional exponent),
+* single-quoted string literals with ``''`` escaping,
+* operators and punctuation, including ``<>``, ``<=``, ``>=``, ``!=``, ``||``,
+* ``--`` line comments and ``/* ... */`` block comments.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LexError
+from repro.sql.tokens import (
+    KEYWORDS,
+    MULTI_CHAR_SYMBOLS,
+    SINGLE_CHAR_SYMBOLS,
+    Token,
+    TokenKind,
+)
+
+_IDENT_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_"
+)
+_IDENT_CONT = _IDENT_START | frozenset("0123456789$#")
+_DIGITS = frozenset("0123456789")
+
+
+class Lexer:
+    """Tokenises SQL text into a list of :class:`Token`."""
+
+    def __init__(self, text):
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def tokenize(self):
+        """Return the full token list, ending with an EOF token."""
+        tokens = []
+        while True:
+            self._skip_whitespace_and_comments()
+            if self.pos >= len(self.text):
+                tokens.append(Token(TokenKind.EOF, "", self.line, self.column))
+                return tokens
+            tokens.append(self._next_token())
+
+    # -- internals ---------------------------------------------------------
+
+    def _peek(self, offset=0):
+        index = self.pos + offset
+        if index < len(self.text):
+            return self.text[index]
+        return ""
+
+    def _advance(self, count=1):
+        for _ in range(count):
+            if self.pos < len(self.text):
+                if self.text[self.pos] == "\n":
+                    self.line += 1
+                    self.column = 1
+                else:
+                    self.column += 1
+                self.pos += 1
+
+    def _skip_whitespace_and_comments(self):
+        while self.pos < len(self.text):
+            char = self.text[self.pos]
+            if char in " \t\r\n":
+                self._advance()
+            elif char == "-" and self._peek(1) == "-":
+                while self.pos < len(self.text) and self.text[self.pos] != "\n":
+                    self._advance()
+            elif char == "/" and self._peek(1) == "*":
+                start_line, start_col = self.line, self.column
+                self._advance(2)
+                while self.pos < len(self.text):
+                    if self.text[self.pos] == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise LexError("unterminated block comment", start_line, start_col)
+            else:
+                return
+
+    def _next_token(self):
+        char = self.text[self.pos]
+        if char in _IDENT_START:
+            return self._lex_word()
+        if char in _DIGITS:
+            return self._lex_number()
+        if char == ".":
+            if self._peek(1) in _DIGITS:
+                return self._lex_number()
+            return self._lex_symbol()
+        if char == "'":
+            return self._lex_string()
+        if char == '"':
+            return self._lex_quoted_identifier()
+        return self._lex_symbol()
+
+    def _lex_word(self):
+        line, column = self.line, self.column
+        start = self.pos
+        while self.pos < len(self.text) and self.text[self.pos] in _IDENT_CONT:
+            self._advance()
+        word = self.text[start : self.pos]
+        upper = word.upper()
+        if upper in KEYWORDS:
+            return Token(TokenKind.KEYWORD, upper, line, column)
+        return Token(TokenKind.IDENT, word, line, column)
+
+    def _lex_number(self):
+        line, column = self.line, self.column
+        start = self.pos
+        while self._peek() in _DIGITS:
+            self._advance()
+        if self._peek() == ".":
+            self._advance()
+            while self._peek() in _DIGITS:
+                self._advance()
+        if self._peek() in ("e", "E"):
+            mark = self.pos
+            self._advance()
+            if self._peek() in ("+", "-"):
+                self._advance()
+            if self._peek() in _DIGITS:
+                while self._peek() in _DIGITS:
+                    self._advance()
+            else:
+                # Not an exponent after all (e.g. "1e" followed by a name):
+                # rewind is unsafe with line tracking, so reject instead.
+                raise LexError("malformed numeric exponent", line, column + (mark - start))
+        return Token(TokenKind.NUMBER, self.text[start : self.pos], line, column)
+
+    def _lex_string(self):
+        line, column = self.line, self.column
+        self._advance()  # opening quote
+        parts = []
+        while True:
+            if self.pos >= len(self.text):
+                raise LexError("unterminated string literal", line, column)
+            char = self.text[self.pos]
+            if char == "'":
+                if self._peek(1) == "'":
+                    parts.append("'")
+                    self._advance(2)
+                else:
+                    self._advance()
+                    return Token(TokenKind.STRING, "".join(parts), line, column)
+            else:
+                parts.append(char)
+                self._advance()
+
+    def _lex_quoted_identifier(self):
+        line, column = self.line, self.column
+        self._advance()  # opening quote
+        parts = []
+        while True:
+            if self.pos >= len(self.text):
+                raise LexError("unterminated quoted identifier", line, column)
+            char = self.text[self.pos]
+            if char == '"':
+                if self._peek(1) == '"':
+                    parts.append('"')
+                    self._advance(2)
+                else:
+                    self._advance()
+                    return Token(TokenKind.IDENT, "".join(parts), line, column)
+            else:
+                parts.append(char)
+                self._advance()
+
+    def _lex_symbol(self):
+        line, column = self.line, self.column
+        for symbol in MULTI_CHAR_SYMBOLS:
+            if self.text.startswith(symbol, self.pos):
+                self._advance(len(symbol))
+                return Token(TokenKind.SYMBOL, symbol, line, column)
+        char = self.text[self.pos]
+        if char in SINGLE_CHAR_SYMBOLS:
+            self._advance()
+            return Token(TokenKind.SYMBOL, char, line, column)
+        raise LexError("unexpected character %r" % char, line, column)
+
+
+def tokenize(text):
+    """Tokenise ``text`` and return the token list (including EOF)."""
+    return Lexer(text).tokenize()

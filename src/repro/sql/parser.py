@@ -1,0 +1,671 @@
+"""Recursive-descent parser for the SQL subset.
+
+Produces the AST defined in :mod:`repro.sql.ast`. Expression parsing uses
+conventional precedence::
+
+    OR < AND < NOT < comparison/IN/BETWEEN/LIKE/IS < + - || < * / % < unary -
+
+Set operations follow SQL precedence (INTERSECT binds tighter than
+UNION/EXCEPT, which associate left).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.sql import ast
+from repro.sql.lexer import tokenize
+from repro.sql.tokens import TokenKind
+
+_COMPARISON_OPS = ("=", "<>", "!=", "<", "<=", ">", ">=")
+
+
+class Parser:
+    """Parses a token stream into AST nodes."""
+
+    def __init__(self, text):
+        self.tokens = tokenize(text)
+        self.index = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    @property
+    def current(self):
+        return self.tokens[self.index]
+
+    def _peek(self, offset=0):
+        index = min(self.index + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self):
+        token = self.tokens[self.index]
+        if token.kind != TokenKind.EOF:
+            self.index += 1
+        return token
+
+    def _check(self, kind, value=None):
+        return self.current.matches(kind, value)
+
+    def _check_keyword(self, *words):
+        return self.current.kind == TokenKind.KEYWORD and self.current.value in words
+
+    def _accept(self, kind, value=None):
+        if self._check(kind, value):
+            return self._advance()
+        return None
+
+    def _accept_keyword(self, *words):
+        if self._check_keyword(*words):
+            return self._advance()
+        return None
+
+    def _expect(self, kind, value=None):
+        token = self._accept(kind, value)
+        if token is None:
+            raise ParseError(
+                "expected %s but found %s"
+                % (value or kind, self.current.value or self.current.kind),
+                self.current.line,
+                self.current.column,
+            )
+        return token
+
+    def _expect_keyword(self, word):
+        token = self._accept_keyword(word)
+        if token is None:
+            raise ParseError(
+                "expected %s but found %s"
+                % (word, self.current.value or self.current.kind),
+                self.current.line,
+                self.current.column,
+            )
+        return token
+
+    def _expect_identifier(self):
+        token = self._accept(TokenKind.IDENT)
+        if token is None:
+            raise ParseError(
+                "expected identifier but found %s"
+                % (self.current.value or self.current.kind),
+                self.current.line,
+                self.current.column,
+            )
+        return token.value
+
+    # -- entry points --------------------------------------------------------
+
+    def parse_script(self):
+        """Parse a sequence of ';'-separated statements."""
+        statements = []
+        while not self._check(TokenKind.EOF):
+            statements.append(self.parse_statement())
+            while self._accept(TokenKind.SYMBOL, ";"):
+                pass
+        return ast.Script(statements=statements)
+
+    def parse_statement(self):
+        """Parse a single CREATE TABLE/VIEW, INSERT, or query statement."""
+        if self._check_keyword("CREATE"):
+            if self._peek(1).matches(TokenKind.KEYWORD, "TABLE"):
+                return self._parse_create_table()
+            return self._parse_create_view()
+        if self._check_keyword("INSERT"):
+            return self._parse_insert()
+        if self._check_keyword("DELETE"):
+            return self._parse_delete()
+        if self._check_keyword("UPDATE"):
+            return self._parse_update()
+        return self.parse_query()
+
+    def parse_expression(self):
+        """Parse a standalone expression (used by tests and tools)."""
+        expr = self._parse_expr()
+        if not self._check(TokenKind.EOF):
+            raise ParseError(
+                "unexpected trailing input: %s" % self.current.value,
+                self.current.line,
+                self.current.column,
+            )
+        return expr
+
+    # -- statements ----------------------------------------------------------
+
+    def _parse_create_table(self):
+        self._expect_keyword("CREATE")
+        self._expect_keyword("TABLE")
+        name = self._expect_identifier()
+        self._expect(TokenKind.SYMBOL, "(")
+        columns = []
+        primary_key = None
+        unique_keys = []
+        while True:
+            if self._check_keyword("PRIMARY"):
+                self._advance()
+                self._expect_keyword("KEY")
+                key = self._parse_optional_column_list()
+                if key is None:
+                    raise ParseError(
+                        "table-level PRIMARY KEY needs a column list",
+                        self.current.line,
+                        self.current.column,
+                    )
+                primary_key = key
+            elif self._check_keyword("UNIQUE"):
+                self._advance()
+                key = self._parse_optional_column_list()
+                if key is None:
+                    raise ParseError(
+                        "table-level UNIQUE needs a column list",
+                        self.current.line,
+                        self.current.column,
+                    )
+                unique_keys.append(key)
+            else:
+                column_name = self._expect_identifier()
+                type_name = "ANY"
+                if self._check(TokenKind.IDENT):
+                    type_name = self._advance().value.upper()
+                    if self._accept(TokenKind.SYMBOL, "("):
+                        self._expect(TokenKind.NUMBER)
+                        self._expect(TokenKind.SYMBOL, ")")
+                is_pk = False
+                is_unique = False
+                if self._accept_keyword("PRIMARY"):
+                    self._expect_keyword("KEY")
+                    is_pk = True
+                elif self._accept_keyword("UNIQUE"):
+                    is_unique = True
+                columns.append(
+                    ast.TableColumn(
+                        name=column_name,
+                        type_name=type_name,
+                        primary_key=is_pk,
+                        unique=is_unique,
+                    )
+                )
+            if not self._accept(TokenKind.SYMBOL, ","):
+                break
+        self._expect(TokenKind.SYMBOL, ")")
+        inline_pk = [c.name for c in columns if c.primary_key]
+        if inline_pk and primary_key is None:
+            primary_key = inline_pk
+        unique_keys.extend([[c.name] for c in columns if c.unique])
+        return ast.CreateTable(
+            name=name,
+            columns=columns,
+            primary_key=primary_key,
+            unique_keys=unique_keys,
+        )
+
+    def _parse_insert(self):
+        self._expect_keyword("INSERT")
+        self._expect_keyword("INTO")
+        table = self._expect_identifier()
+        self._expect_keyword("VALUES")
+        rows = [self._parse_value_row()]
+        while self._accept(TokenKind.SYMBOL, ","):
+            rows.append(self._parse_value_row())
+        return ast.InsertValues(table=table, rows=rows)
+
+    def _parse_delete(self):
+        self._expect_keyword("DELETE")
+        self._expect_keyword("FROM")
+        table = self._expect_identifier()
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self._parse_expr()
+        return ast.Delete(table=table, where=where)
+
+    def _parse_update(self):
+        self._expect_keyword("UPDATE")
+        table = self._expect_identifier()
+        self._expect_keyword("SET")
+        assignments = [self._parse_assignment()]
+        while self._accept(TokenKind.SYMBOL, ","):
+            assignments.append(self._parse_assignment())
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self._parse_expr()
+        return ast.Update(table=table, assignments=assignments, where=where)
+
+    def _parse_assignment(self):
+        column = self._expect_identifier()
+        self._expect(TokenKind.SYMBOL, "=")
+        return (column, self._parse_expr())
+
+    def _parse_value_row(self):
+        self._expect(TokenKind.SYMBOL, "(")
+        values = [self._parse_expr()]
+        while self._accept(TokenKind.SYMBOL, ","):
+            values.append(self._parse_expr())
+        self._expect(TokenKind.SYMBOL, ")")
+        return values
+
+    def _parse_create_view(self):
+        self._expect_keyword("CREATE")
+        recursive = self._accept_keyword("RECURSIVE") is not None
+        self._expect_keyword("VIEW")
+        name = self._expect_identifier()
+        columns = self._parse_optional_column_list()
+        self._expect_keyword("AS")
+        if self._accept(TokenKind.SYMBOL, "("):
+            query = self.parse_query()
+            self._expect(TokenKind.SYMBOL, ")")
+        else:
+            query = self.parse_query()
+        return ast.CreateView(name=name, query=query, columns=columns, recursive=recursive)
+
+    def _parse_optional_column_list(self):
+        if not self._accept(TokenKind.SYMBOL, "("):
+            return None
+        columns = [self._expect_identifier()]
+        while self._accept(TokenKind.SYMBOL, ","):
+            columns.append(self._expect_identifier())
+        self._expect(TokenKind.SYMBOL, ")")
+        return columns
+
+    def parse_query(self):
+        """Parse ``[WITH ...] set_expr [ORDER BY ...] [LIMIT n]``."""
+        ctes = []
+        recursive = False
+        if self._accept_keyword("WITH"):
+            recursive = self._accept_keyword("RECURSIVE") is not None
+            ctes.append(self._parse_cte(recursive))
+            while self._accept(TokenKind.SYMBOL, ","):
+                ctes.append(self._parse_cte(recursive))
+        body = self._parse_set_expr()
+        order_by = self._parse_optional_order_by()
+        limit = None
+        if self._accept_keyword("LIMIT"):
+            token = self._expect(TokenKind.NUMBER)
+            limit = int(token.value)
+        return ast.Query(
+            body=body,
+            order_by=order_by,
+            limit=limit,
+            ctes=ctes,
+            recursive_ctes=recursive,
+        )
+
+    def _parse_cte(self, recursive):
+        name = self._expect_identifier()
+        columns = self._parse_optional_column_list()
+        self._expect_keyword("AS")
+        self._expect(TokenKind.SYMBOL, "(")
+        query = self.parse_query()
+        self._expect(TokenKind.SYMBOL, ")")
+        return ast.CreateView(name=name, query=query, columns=columns, recursive=recursive)
+
+    def _parse_optional_order_by(self):
+        if not self._accept_keyword("ORDER"):
+            return []
+        self._expect_keyword("BY")
+        items = [self._parse_order_item()]
+        while self._accept(TokenKind.SYMBOL, ","):
+            items.append(self._parse_order_item())
+        return items
+
+    def _parse_order_item(self):
+        expr = self._parse_expr()
+        ascending = True
+        if self._accept_keyword("DESC"):
+            ascending = False
+        else:
+            self._accept_keyword("ASC")
+        return ast.OrderItem(expr=expr, ascending=ascending)
+
+    # -- set expressions -----------------------------------------------------
+
+    def _parse_set_expr(self):
+        left = self._parse_intersect_expr()
+        while self._check_keyword("UNION", "EXCEPT"):
+            op = self._advance().value
+            all_flag = self._accept_keyword("ALL") is not None
+            if not all_flag:
+                self._accept_keyword("DISTINCT")
+            right = self._parse_intersect_expr()
+            left = ast.SetOp(op=op, all=all_flag, left=left, right=right)
+        return left
+
+    def _parse_intersect_expr(self):
+        left = self._parse_set_primary()
+        while self._check_keyword("INTERSECT"):
+            self._advance()
+            all_flag = self._accept_keyword("ALL") is not None
+            if not all_flag:
+                self._accept_keyword("DISTINCT")
+            right = self._parse_set_primary()
+            left = ast.SetOp(op="INTERSECT", all=all_flag, left=left, right=right)
+        return left
+
+    def _parse_set_primary(self):
+        if self._accept(TokenKind.SYMBOL, "("):
+            body = self._parse_set_expr()
+            self._expect(TokenKind.SYMBOL, ")")
+            return body
+        return self._parse_select_core()
+
+    def _parse_select_core(self):
+        self._expect_keyword("SELECT")
+        distinct = False
+        if self._accept_keyword("DISTINCT"):
+            distinct = True
+        else:
+            self._accept_keyword("ALL")
+        items = [self._parse_select_item()]
+        while self._accept(TokenKind.SYMBOL, ","):
+            items.append(self._parse_select_item())
+        self._expect_keyword("FROM")
+        from_tables = [self._parse_from_item()]
+        while self._accept(TokenKind.SYMBOL, ","):
+            from_tables.append(self._parse_from_item())
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self._parse_expr()
+        group_by = []
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by.append(self._parse_expr())
+            while self._accept(TokenKind.SYMBOL, ","):
+                group_by.append(self._parse_expr())
+        having = None
+        if self._accept_keyword("HAVING"):
+            having = self._parse_expr()
+        return ast.SelectCore(
+            items=items,
+            from_tables=from_tables,
+            where=where,
+            group_by=group_by,
+            having=having,
+            distinct=distinct,
+        )
+
+    def _parse_select_item(self):
+        if self._check(TokenKind.SYMBOL, "*"):
+            self._advance()
+            return ast.SelectItem(expr=ast.Star())
+        if (
+            self._check(TokenKind.IDENT)
+            and self._peek(1).matches(TokenKind.SYMBOL, ".")
+            and self._peek(2).matches(TokenKind.SYMBOL, "*")
+        ):
+            table = self._advance().value
+            self._advance()
+            self._advance()
+            return ast.SelectItem(expr=ast.Star(table=table))
+        expr = self._parse_expr()
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_identifier()
+        elif self._check(TokenKind.IDENT):
+            alias = self._advance().value
+        return ast.SelectItem(expr=expr, alias=alias)
+
+    def _parse_from_item(self):
+        """One FROM item: a table reference optionally extended by a
+        left-associative JOIN chain."""
+        item = self._parse_table_primary()
+        while self._check_keyword("JOIN", "INNER", "LEFT"):
+            kind = "INNER"
+            if self._accept_keyword("LEFT"):
+                self._accept_keyword("OUTER")
+                kind = "LEFT"
+            else:
+                self._accept_keyword("INNER")
+            self._expect_keyword("JOIN")
+            right = self._parse_table_primary()
+            self._expect_keyword("ON")
+            condition = self._parse_expr()
+            item = ast.JoinRef(left=item, right=right, kind=kind, condition=condition)
+        return item
+
+    def _parse_table_primary(self):
+        if self._check(TokenKind.SYMBOL, "("):
+            self._advance()
+            query = self.parse_query()
+            self._expect(TokenKind.SYMBOL, ")")
+            self._accept_keyword("AS")
+            alias = self._expect_identifier()
+            return ast.SubqueryRef(query=query, alias=alias)
+        name = self._expect_identifier()
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_identifier()
+        elif self._check(TokenKind.IDENT):
+            alias = self._advance().value
+        return ast.TableRef(name=name, alias=alias)
+
+    # -- expressions ---------------------------------------------------------
+
+    def _parse_expr(self):
+        return self._parse_or()
+
+    def _parse_or(self):
+        left = self._parse_and()
+        while self._accept_keyword("OR"):
+            right = self._parse_and()
+            left = ast.BinaryOp(op="OR", left=left, right=right)
+        return left
+
+    def _parse_and(self):
+        left = self._parse_not()
+        while self._accept_keyword("AND"):
+            right = self._parse_not()
+            left = ast.BinaryOp(op="AND", left=left, right=right)
+        return left
+
+    def _parse_not(self):
+        if self._accept_keyword("NOT"):
+            operand = self._parse_not()
+            return _negate(operand)
+        return self._parse_predicate()
+
+    def _parse_predicate(self):
+        left = self._parse_additive()
+        negated = self._accept_keyword("NOT") is not None
+        if self._check(TokenKind.SYMBOL) and self.current.value in _COMPARISON_OPS:
+            if negated:
+                raise ParseError(
+                    "NOT cannot directly precede a comparison operator",
+                    self.current.line,
+                    self.current.column,
+                )
+            op = self._advance().value
+            if op == "!=":
+                op = "<>"
+            if self._check_keyword("ANY", "SOME", "ALL"):
+                quant = self._advance().value
+                if quant == "SOME":
+                    quant = "ANY"
+                self._expect(TokenKind.SYMBOL, "(")
+                query = self.parse_query()
+                self._expect(TokenKind.SYMBOL, ")")
+                return ast.QuantifiedComparison(left=left, op=op, quantifier=quant, query=query)
+            right = self._parse_additive()
+            return ast.BinaryOp(op=op, left=left, right=right)
+        if self._accept_keyword("BETWEEN"):
+            low = self._parse_additive()
+            self._expect_keyword("AND")
+            high = self._parse_additive()
+            return ast.Between(expr=left, low=low, high=high, negated=negated)
+        if self._accept_keyword("IN"):
+            self._expect(TokenKind.SYMBOL, "(")
+            if self._check_keyword("SELECT", "WITH"):
+                query = self.parse_query()
+                self._expect(TokenKind.SYMBOL, ")")
+                return ast.InSubquery(expr=left, query=query, negated=negated)
+            items = [self._parse_expr()]
+            while self._accept(TokenKind.SYMBOL, ","):
+                items.append(self._parse_expr())
+            self._expect(TokenKind.SYMBOL, ")")
+            return ast.InList(expr=left, items=items, negated=negated)
+        if self._accept_keyword("LIKE"):
+            pattern = self._parse_additive()
+            return ast.Like(expr=left, pattern=pattern, negated=negated)
+        if self._accept_keyword("IS"):
+            if negated:
+                raise ParseError(
+                    "NOT cannot directly precede IS",
+                    self.current.line,
+                    self.current.column,
+                )
+            is_negated = self._accept_keyword("NOT") is not None
+            self._expect_keyword("NULL")
+            return ast.IsNull(expr=left, negated=is_negated)
+        if negated:
+            raise ParseError(
+                "expected BETWEEN, IN or LIKE after NOT",
+                self.current.line,
+                self.current.column,
+            )
+        return left
+
+    def _parse_additive(self):
+        left = self._parse_multiplicative()
+        while self._check(TokenKind.SYMBOL) and self.current.value in ("+", "-", "||"):
+            op = self._advance().value
+            right = self._parse_multiplicative()
+            left = ast.BinaryOp(op=op, left=left, right=right)
+        return left
+
+    def _parse_multiplicative(self):
+        left = self._parse_unary()
+        while self._check(TokenKind.SYMBOL) and self.current.value in ("*", "/", "%"):
+            op = self._advance().value
+            right = self._parse_unary()
+            left = ast.BinaryOp(op=op, left=left, right=right)
+        return left
+
+    def _parse_unary(self):
+        if self._accept(TokenKind.SYMBOL, "-"):
+            return ast.UnaryOp(op="-", operand=self._parse_unary())
+        if self._accept(TokenKind.SYMBOL, "+"):
+            return self._parse_unary()
+        return self._parse_primary()
+
+    def _parse_primary(self):
+        token = self.current
+        if token.kind == TokenKind.NUMBER:
+            self._advance()
+            text = token.value
+            if "." in text or "e" in text or "E" in text:
+                return ast.Literal(value=float(text))
+            return ast.Literal(value=int(text))
+        if token.kind == TokenKind.STRING:
+            self._advance()
+            return ast.Literal(value=token.value)
+        if self._accept_keyword("NULL"):
+            return ast.Literal(value=None)
+        if self._accept_keyword("TRUE"):
+            return ast.Literal(value=True)
+        if self._accept_keyword("FALSE"):
+            return ast.Literal(value=False)
+        if self._check_keyword("EXISTS"):
+            self._advance()
+            self._expect(TokenKind.SYMBOL, "(")
+            query = self.parse_query()
+            self._expect(TokenKind.SYMBOL, ")")
+            return ast.Exists(query=query)
+        if self._check_keyword("CASE"):
+            return self._parse_case()
+        if self._check(TokenKind.SYMBOL, "("):
+            self._advance()
+            if self._check_keyword("SELECT", "WITH"):
+                query = self.parse_query()
+                self._expect(TokenKind.SYMBOL, ")")
+                return ast.ScalarSubquery(query=query)
+            expr = self._parse_expr()
+            self._expect(TokenKind.SYMBOL, ")")
+            return expr
+        if token.kind == TokenKind.IDENT:
+            return self._parse_identifier_expr()
+        raise ParseError(
+            "unexpected token %s" % (token.value or token.kind),
+            token.line,
+            token.column,
+        )
+
+    def _parse_case(self):
+        self._expect_keyword("CASE")
+        branches = []
+        while self._accept_keyword("WHEN"):
+            cond = self._parse_expr()
+            self._expect_keyword("THEN")
+            value = self._parse_expr()
+            branches.append((cond, value))
+        if not branches:
+            raise ParseError(
+                "CASE requires at least one WHEN branch",
+                self.current.line,
+                self.current.column,
+            )
+        default = None
+        if self._accept_keyword("ELSE"):
+            default = self._parse_expr()
+        self._expect_keyword("END")
+        return ast.CaseWhen(branches=branches, default=default)
+
+    def _parse_identifier_expr(self):
+        name = self._advance().value
+        if self._check(TokenKind.SYMBOL, "("):
+            self._advance()
+            distinct = self._accept_keyword("DISTINCT") is not None
+            args = []
+            if self._check(TokenKind.SYMBOL, "*"):
+                self._advance()
+                args.append(ast.Star())
+            elif not self._check(TokenKind.SYMBOL, ")"):
+                args.append(self._parse_expr())
+                while self._accept(TokenKind.SYMBOL, ","):
+                    args.append(self._parse_expr())
+            self._expect(TokenKind.SYMBOL, ")")
+            return ast.FuncCall(name=name.upper(), args=args, distinct=distinct)
+        if self._check(TokenKind.SYMBOL, "."):
+            self._advance()
+            column = self._expect_identifier()
+            return ast.ColumnRef(column=column, table=name)
+        return ast.ColumnRef(column=name)
+
+
+def _negate(expr):
+    """Push a NOT into negatable predicate nodes, else wrap in UnaryOp."""
+    if isinstance(expr, ast.Exists):
+        return ast.Exists(query=expr.query, negated=not expr.negated)
+    if isinstance(expr, ast.InSubquery):
+        return ast.InSubquery(expr=expr.expr, query=expr.query, negated=not expr.negated)
+    if isinstance(expr, ast.InList):
+        return ast.InList(expr=expr.expr, items=expr.items, negated=not expr.negated)
+    if isinstance(expr, ast.Between):
+        return ast.Between(
+            expr=expr.expr, low=expr.low, high=expr.high, negated=not expr.negated
+        )
+    if isinstance(expr, ast.Like):
+        return ast.Like(expr=expr.expr, pattern=expr.pattern, negated=not expr.negated)
+    if isinstance(expr, ast.IsNull):
+        return ast.IsNull(expr=expr.expr, negated=not expr.negated)
+    if isinstance(expr, ast.UnaryOp) and expr.op == "NOT":
+        return expr.operand
+    return ast.UnaryOp(op="NOT", operand=expr)
+
+
+def parse_script(text):
+    """Parse a multi-statement SQL script."""
+    return Parser(text).parse_script()
+
+
+def parse_statement(text):
+    """Parse a single SQL statement."""
+    parser = Parser(text)
+    statement = parser.parse_statement()
+    parser._accept(TokenKind.SYMBOL, ";")
+    if not parser._check(TokenKind.EOF):
+        raise ParseError(
+            "unexpected trailing input: %s" % parser.current.value,
+            parser.current.line,
+            parser.current.column,
+        )
+    return statement
+
+
+def parse_expression(text):
+    """Parse a standalone SQL expression."""
+    return Parser(text).parse_expression()

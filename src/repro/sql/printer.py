@@ -1,0 +1,251 @@
+"""SQL pretty-printer: AST back to SQL text.
+
+``to_sql`` renders any AST node. The output re-parses to an equivalent tree
+(modulo redundant parentheses), which the test suite checks by round-trip.
+"""
+
+from __future__ import annotations
+
+from repro.sql import ast
+
+_PRECEDENCE = {
+    "OR": 1,
+    "AND": 2,
+    "=": 4,
+    "<>": 4,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "+": 5,
+    "-": 5,
+    "||": 5,
+    "*": 6,
+    "/": 6,
+    "%": 6,
+}
+
+
+def _format_literal(value):
+    if value is None:
+        return "NULL"
+    if value is True:
+        return "TRUE"
+    if value is False:
+        return "FALSE"
+    if isinstance(value, str):
+        return "'%s'" % value.replace("'", "''")
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def expr_to_sql(expr, parent_precedence=0):
+    """Render an expression node to SQL text."""
+    if isinstance(expr, ast.Literal):
+        return _format_literal(expr.value)
+    if isinstance(expr, ast.ColumnRef):
+        return str(expr)
+    if isinstance(expr, ast.Star):
+        return "%s.*" % expr.table if expr.table else "*"
+    if isinstance(expr, ast.UnaryOp):
+        if expr.op == "NOT":
+            inner = expr_to_sql(expr.operand, 3)
+            text = "NOT %s" % inner
+            return "(%s)" % text if parent_precedence > 3 else text
+        return "-%s" % expr_to_sql(expr.operand, 7)
+    if isinstance(expr, ast.BinaryOp):
+        precedence = _PRECEDENCE[expr.op]
+        left = expr_to_sql(expr.left, precedence)
+        right = expr_to_sql(expr.right, precedence + 1)
+        text = "%s %s %s" % (left, expr.op, right)
+        return "(%s)" % text if precedence < parent_precedence else text
+    if isinstance(expr, ast.Between):
+        text = "%s %sBETWEEN %s AND %s" % (
+            expr_to_sql(expr.expr, 5),
+            "NOT " if expr.negated else "",
+            expr_to_sql(expr.low, 5),
+            expr_to_sql(expr.high, 5),
+        )
+        return "(%s)" % text if parent_precedence > 3 else text
+    if isinstance(expr, ast.InList):
+        items = ", ".join(expr_to_sql(item) for item in expr.items)
+        text = "%s %sIN (%s)" % (
+            expr_to_sql(expr.expr, 5),
+            "NOT " if expr.negated else "",
+            items,
+        )
+        return "(%s)" % text if parent_precedence > 3 else text
+    if isinstance(expr, ast.InSubquery):
+        text = "%s %sIN (%s)" % (
+            expr_to_sql(expr.expr, 5),
+            "NOT " if expr.negated else "",
+            query_to_sql(expr.query),
+        )
+        return "(%s)" % text if parent_precedence > 3 else text
+    if isinstance(expr, ast.Exists):
+        return "%sEXISTS (%s)" % ("NOT " if expr.negated else "", query_to_sql(expr.query))
+    if isinstance(expr, ast.QuantifiedComparison):
+        return "%s %s %s (%s)" % (
+            expr_to_sql(expr.left, 5),
+            expr.op,
+            expr.quantifier,
+            query_to_sql(expr.query),
+        )
+    if isinstance(expr, ast.ScalarSubquery):
+        return "(%s)" % query_to_sql(expr.query)
+    if isinstance(expr, ast.IsNull):
+        text = "%s IS %sNULL" % (
+            expr_to_sql(expr.expr, 5),
+            "NOT " if expr.negated else "",
+        )
+        return "(%s)" % text if parent_precedence > 3 else text
+    if isinstance(expr, ast.Like):
+        text = "%s %sLIKE %s" % (
+            expr_to_sql(expr.expr, 5),
+            "NOT " if expr.negated else "",
+            expr_to_sql(expr.pattern, 5),
+        )
+        return "(%s)" % text if parent_precedence > 3 else text
+    if isinstance(expr, ast.FuncCall):
+        args = ", ".join(expr_to_sql(arg) for arg in expr.args)
+        distinct = "DISTINCT " if expr.distinct else ""
+        return "%s(%s%s)" % (expr.name, distinct, args)
+    if isinstance(expr, ast.CaseWhen):
+        parts = ["CASE"]
+        for cond, value in expr.branches:
+            parts.append("WHEN %s THEN %s" % (expr_to_sql(cond), expr_to_sql(value)))
+        if expr.default is not None:
+            parts.append("ELSE %s" % expr_to_sql(expr.default))
+        parts.append("END")
+        return " ".join(parts)
+    raise TypeError("cannot render expression node %r" % type(expr).__name__)
+
+
+def _select_core_to_sql(core):
+    parts = ["SELECT"]
+    if core.distinct:
+        parts.append("DISTINCT")
+    items = []
+    for item in core.items:
+        text = expr_to_sql(item.expr)
+        if item.alias:
+            text += " AS %s" % item.alias
+        items.append(text)
+    parts.append(", ".join(items))
+    parts.append("FROM")
+    parts.append(", ".join(_from_item_to_sql(t) for t in core.from_tables))
+    if core.where is not None:
+        parts.append("WHERE %s" % expr_to_sql(core.where))
+    if core.group_by:
+        parts.append("GROUP BY %s" % ", ".join(expr_to_sql(e) for e in core.group_by))
+    if core.having is not None:
+        parts.append("HAVING %s" % expr_to_sql(core.having))
+    return " ".join(parts)
+
+
+def _from_item_to_sql(item):
+    if isinstance(item, ast.TableRef):
+        text = item.name
+        if item.alias:
+            text += " %s" % item.alias
+        return text
+    if isinstance(item, ast.SubqueryRef):
+        return "(%s) AS %s" % (query_to_sql(item.query), item.alias)
+    if isinstance(item, ast.JoinRef):
+        keyword = "LEFT OUTER JOIN" if item.kind == "LEFT" else "JOIN"
+        return "%s %s %s ON %s" % (
+            _from_item_to_sql(item.left),
+            keyword,
+            _from_item_to_sql(item.right),
+            expr_to_sql(item.condition),
+        )
+    raise TypeError("cannot render FROM item %r" % type(item).__name__)
+
+
+def _body_to_sql(body):
+    if isinstance(body, ast.SelectCore):
+        return _select_core_to_sql(body)
+    if isinstance(body, ast.SetOp):
+        left = _body_to_sql(body.left)
+        right = _body_to_sql(body.right)
+        if isinstance(body.right, ast.SetOp):
+            right = "(%s)" % right
+        op = body.op + (" ALL" if body.all else "")
+        return "%s %s %s" % (left, op, right)
+    raise TypeError("cannot render query body %r" % type(body).__name__)
+
+
+def query_to_sql(query):
+    """Render a :class:`repro.sql.ast.Query` to SQL text."""
+    parts = []
+    if query.ctes:
+        rendered = []
+        for cte in query.ctes:
+            cols = "(%s)" % ", ".join(cte.columns) if cte.columns else ""
+            rendered.append("%s%s AS (%s)" % (cte.name, cols, query_to_sql(cte.query)))
+        keyword = "WITH RECURSIVE" if query.recursive_ctes else "WITH"
+        parts.append("%s %s" % (keyword, ", ".join(rendered)))
+    parts.append(_body_to_sql(query.body))
+    if query.order_by:
+        keys = []
+        for item in query.order_by:
+            text = expr_to_sql(item.expr)
+            if not item.ascending:
+                text += " DESC"
+            keys.append(text)
+        parts.append("ORDER BY %s" % ", ".join(keys))
+    if query.limit is not None:
+        parts.append("LIMIT %d" % query.limit)
+    return " ".join(parts)
+
+
+def to_sql(node):
+    """Render any AST node (statement, query, or expression) to SQL text."""
+    if isinstance(node, ast.Script):
+        return ";\n".join(to_sql(s) for s in node.statements) + ";"
+    if isinstance(node, ast.CreateTable):
+        parts = []
+        for column in node.columns:
+            text = column.name
+            if column.type_name != "ANY":
+                text += " %s" % column.type_name
+            if column.primary_key:
+                text += " PRIMARY KEY"
+            if column.unique:
+                text += " UNIQUE"
+            parts.append(text)
+        inline_pk = [c.name for c in node.columns if c.primary_key]
+        if node.primary_key and node.primary_key != inline_pk:
+            parts.append("PRIMARY KEY (%s)" % ", ".join(node.primary_key))
+        for key in node.unique_keys:
+            if len(key) == 1 and any(c.name == key[0] and c.unique for c in node.columns):
+                continue
+            parts.append("UNIQUE (%s)" % ", ".join(key))
+        return "CREATE TABLE %s (%s)" % (node.name, ", ".join(parts))
+    if isinstance(node, ast.InsertValues):
+        rows = ", ".join(
+            "(%s)" % ", ".join(expr_to_sql(v) for v in row) for row in node.rows
+        )
+        return "INSERT INTO %s VALUES %s" % (node.table, rows)
+    if isinstance(node, ast.Delete):
+        text = "DELETE FROM %s" % node.table
+        if node.where is not None:
+            text += " WHERE %s" % expr_to_sql(node.where)
+        return text
+    if isinstance(node, ast.Update):
+        sets = ", ".join(
+            "%s = %s" % (column, expr_to_sql(value))
+            for column, value in node.assignments
+        )
+        text = "UPDATE %s SET %s" % (node.table, sets)
+        if node.where is not None:
+            text += " WHERE %s" % expr_to_sql(node.where)
+        return text
+    if isinstance(node, ast.CreateView):
+        cols = " (%s)" % ", ".join(node.columns) if node.columns else ""
+        keyword = "CREATE RECURSIVE VIEW" if node.recursive else "CREATE VIEW"
+        return "%s %s%s AS %s" % (keyword, node.name, cols, query_to_sql(node.query))
+    if isinstance(node, ast.Query):
+        return query_to_sql(node)
+    if isinstance(node, ast.Expr):
+        return expr_to_sql(node)
+    raise TypeError("cannot render node %r" % type(node).__name__)

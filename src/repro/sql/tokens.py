@@ -1,0 +1,106 @@
+"""Token kinds and the token record produced by the lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class TokenKind:
+    """Enumeration of lexical token categories."""
+
+    IDENT = "IDENT"
+    KEYWORD = "KEYWORD"
+    NUMBER = "NUMBER"
+    STRING = "STRING"
+    SYMBOL = "SYMBOL"
+    EOF = "EOF"
+
+
+#: Reserved words recognised by the lexer (upper-cased before comparison).
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "DISTINCT",
+        "ALL",
+        "FROM",
+        "WHERE",
+        "GROUP",
+        "BY",
+        "HAVING",
+        "ORDER",
+        "ASC",
+        "DESC",
+        "LIMIT",
+        "UNION",
+        "INTERSECT",
+        "EXCEPT",
+        "AS",
+        "AND",
+        "OR",
+        "NOT",
+        "IN",
+        "EXISTS",
+        "BETWEEN",
+        "LIKE",
+        "IS",
+        "NULL",
+        "TRUE",
+        "FALSE",
+        "CREATE",
+        "VIEW",
+        "RECURSIVE",
+        "WITH",
+        "ANY",
+        "SOME",
+        "JOIN",
+        "INNER",
+        "LEFT",
+        "OUTER",
+        "ON",
+        "CASE",
+        "WHEN",
+        "THEN",
+        "ELSE",
+        "END",
+        "CAST",
+        "TABLE",
+        "INSERT",
+        "INTO",
+        "VALUES",
+        "PRIMARY",
+        "KEY",
+        "UNIQUE",
+        "DELETE",
+        "UPDATE",
+        "SET",
+    }
+)
+
+#: Multi-character operators, longest first so the lexer can match greedily.
+MULTI_CHAR_SYMBOLS = ("<>", "<=", ">=", "!=", "||")
+
+SINGLE_CHAR_SYMBOLS = frozenset("()+-*/%,.<>=;")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    ``value`` holds the raw text for identifiers and symbols, the *decoded*
+    value for strings (quotes stripped, doubled quotes collapsed) and the
+    upper-cased spelling for keywords.
+    """
+
+    kind: str
+    value: str
+    line: int
+    column: int
+
+    def matches(self, kind, value=None):
+        """Return True when this token has ``kind`` (and ``value`` if given)."""
+        if self.kind != kind:
+            return False
+        return value is None or self.value == value
+
+    def __str__(self):
+        return "%s(%r)@%d:%d" % (self.kind, self.value, self.line, self.column)

@@ -1,0 +1,33 @@
+"""Benchmark workloads: deterministic synthetic data generators and the
+eight Table-1 experiments (A–H).
+
+The paper's numbers come from "large benchmark data" on DB2 [MFPR90a]; the
+queries were never published. These modules recreate the *regimes* each
+Table-1 row exhibits — single-binding lookups where correlated execution
+narrowly wins, large-outer re-evaluation blow-ups where it loses to the
+original query, and the stable EMST middle ground — on an employee/
+department schema (the paper's running example) and a TPC-D-flavoured
+decision-support schema (the paper's motivation cites TPCD [TPCD94]).
+"""
+
+from repro.workloads.empdept import build_empdept_database
+from repro.workloads.decision_support import build_decision_support_database
+from repro.workloads.experiments import (
+    EXPERIMENTS,
+    Experiment,
+    ExperimentRun,
+    run_experiment,
+    run_all_experiments,
+    format_table1,
+)
+
+__all__ = [
+    "build_empdept_database",
+    "build_decision_support_database",
+    "EXPERIMENTS",
+    "Experiment",
+    "ExperimentRun",
+    "run_experiment",
+    "run_all_experiments",
+    "format_table1",
+]

@@ -1,0 +1,116 @@
+"""A TPC-D-flavoured decision-support schema with a deterministic
+generator (the paper motivates EMST with decision-support/TPCD queries).
+
+Tables (scaled by ``scale``):
+
+* ``customer(custkey, cname, nationkey, mktsegment, acctbal)``
+* ``orders(orderkey, custkey, ostatus, totalprice, omonth, clerk)``
+* ``lineitem(orderkey, partkey, quantity, extendedprice, discount)``
+* ``part(partkey, pname, brand, ptype, size)``
+* ``nation(nationkey, nname, regionkey)``
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.engine import Database
+
+MKT_SEGMENTS = ("AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY")
+BRANDS = tuple("Brand%02d" % i for i in range(10))
+PTYPES = ("COPPER", "BRASS", "STEEL", "TIN", "NICKEL")
+STATUSES = ("O", "F", "P")
+
+
+def build_decision_support_database(scale=1.0, seed=7, database=None):
+    """Build the decision-support database at the given scale factor.
+
+    scale=1.0 ≈ 300 customers, 1500 orders, 4500 lineitems, 200 parts.
+    """
+    rng = random.Random(seed)
+    db = database or Database()
+
+    n_nations = 25
+    n_customers = max(int(300 * scale), 10)
+    n_orders = max(int(1500 * scale), 20)
+    n_parts = max(int(200 * scale), 10)
+    lines_per_order = 3
+
+    nations = [
+        (key, "Nation%02d" % key, key % 5)
+        for key in range(n_nations)
+    ]
+    customers = [
+        (
+            key,
+            "Customer%05d" % key,
+            rng.randrange(n_nations),
+            MKT_SEGMENTS[rng.randrange(len(MKT_SEGMENTS))],
+            round(rng.uniform(-999.0, 9999.0), 2),
+        )
+        for key in range(n_customers)
+    ]
+    orders = [
+        (
+            key,
+            rng.randrange(n_customers),
+            STATUSES[rng.randrange(len(STATUSES))],
+            round(rng.uniform(1000.0, 300000.0), 2),
+            rng.randrange(1, 13),
+            "Clerk%03d" % rng.randrange(100),
+        )
+        for key in range(n_orders)
+    ]
+    parts = [
+        (
+            key,
+            "Part%05d" % key,
+            BRANDS[rng.randrange(len(BRANDS))],
+            PTYPES[rng.randrange(len(PTYPES))],
+            rng.randrange(1, 51),
+        )
+        for key in range(n_parts)
+    ]
+    lineitems = []
+    for orderkey in range(n_orders):
+        for _ in range(lines_per_order):
+            lineitems.append(
+                (
+                    orderkey,
+                    rng.randrange(n_parts),
+                    rng.randrange(1, 51),
+                    round(rng.uniform(100.0, 90000.0), 2),
+                    round(rng.choice((0.0, 0.02, 0.04, 0.06, 0.08, 0.10)), 2),
+                )
+            )
+
+    db.create_table(
+        "nation",
+        ["nationkey", "nname", "regionkey"],
+        primary_key=["nationkey"],
+        rows=nations,
+    )
+    db.create_table(
+        "customer",
+        ["custkey", "cname", "nationkey", "mktsegment", "acctbal"],
+        primary_key=["custkey"],
+        rows=customers,
+    )
+    db.create_table(
+        "orders",
+        ["orderkey", "custkey", "ostatus", "totalprice", "omonth", "clerk"],
+        primary_key=["orderkey"],
+        rows=orders,
+    )
+    db.create_table(
+        "part",
+        ["partkey", "pname", "brand", "ptype", "size"],
+        primary_key=["partkey"],
+        rows=parts,
+    )
+    db.create_table(
+        "lineitem",
+        ["orderkey", "partkey", "quantity", "extendedprice", "discount"],
+        rows=lineitems,
+    )
+    return db

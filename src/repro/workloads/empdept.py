@@ -1,0 +1,91 @@
+"""The employee/department schema of the paper's running example,
+with a deterministic generator.
+
+Tables:
+
+* ``department(deptno, deptname, mgrno, division, budget)`` — primary key
+  ``deptno``; exactly one department is named ``'Planning'``; departments
+  are spread over ``n_divisions`` divisions.
+* ``employee(empno, empname, workdept, salary, job)`` — primary key
+  ``empno``; each department has one manager (its ``mgrno``).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.engine import Database
+
+JOBS = ("CLERK", "ANALYST", "SALES", "ENGINEER", "MANAGER")
+
+
+def build_empdept_database(
+    n_departments=100,
+    employees_per_department=40,
+    n_divisions=10,
+    seed=42,
+    database=None,
+):
+    """Build (or extend) a Database with the employee/department schema."""
+    rng = random.Random(seed)
+    db = database or Database()
+
+    departments = []
+    for index in range(n_departments):
+        deptno = "D%04d" % index
+        if index == 0:
+            deptname = "Planning"
+        else:
+            deptname = "Dept%04d" % index
+        division = "DIV%02d" % (index % n_divisions)
+        budget = rng.randint(100, 5000) * 1000
+        # mgrno filled in below once employees exist.
+        departments.append([deptno, deptname, None, division, budget])
+
+    employees = []
+    empno = 1
+    for index in range(n_departments):
+        deptno = "D%04d" % index
+        for position in range(employees_per_department):
+            salary = rng.randint(30, 180) * 1000
+            job = JOBS[rng.randrange(len(JOBS))] if position else "MANAGER"
+            employees.append(
+                (empno, "Emp%06d" % empno, deptno, salary, job)
+            )
+            if position == 0:
+                departments[index][2] = empno
+            empno += 1
+
+    db.create_table(
+        "department",
+        ["deptno", "deptname", "mgrno", "division", "budget"],
+        primary_key=["deptno"],
+        unique_keys=[("mgrno",)],
+        rows=[tuple(row) for row in departments],
+    )
+    db.create_table(
+        "employee",
+        ["empno", "empname", "workdept", "salary", "job"],
+        primary_key=["empno"],
+        rows=employees,
+    )
+    return db
+
+
+#: The views of the paper's Example 1.1 (D1/D2), usable on the generated
+#: schema via Connection.run_script.
+PAPER_VIEWS_SQL = """
+CREATE VIEW mgrSal (empno, empname, workdept, salary) AS
+  SELECT e.empno, e.empname, e.workdept, e.salary
+  FROM employee e, department d
+  WHERE e.empno = d.mgrno;
+CREATE VIEW avgMgrSal (workdept, avgsalary) AS
+  SELECT workdept, AVG(salary) FROM mgrSal GROUP BY workdept;
+"""
+
+#: The paper's query D0.
+PAPER_QUERY_SQL = (
+    "SELECT d.deptname, s.workdept, s.avgsalary "
+    "FROM department d, avgMgrSal s "
+    "WHERE d.deptno = s.workdept AND d.deptname = 'Planning'"
+)

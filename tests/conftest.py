@@ -1,0 +1,83 @@
+"""Shared fixtures: small databases and helpers used across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Connection, Database
+
+
+from tests.helpers import assert_same_rows, canonical, run_all_strategies  # noqa: F401
+
+
+@pytest.fixture
+def empdept_db():
+    """The paper's running-example schema with a handful of rows."""
+    db = Database()
+    db.create_table(
+        "employee",
+        ["empno", "empname", "workdept", "salary"],
+        primary_key=["empno"],
+        rows=[
+            (1, "alice", "D1", 100),
+            (2, "bob", "D1", 200),
+            (3, "carol", "D2", 300),
+            (4, "dave", "D2", 500),
+            (5, "erin", "D3", 50),
+            (6, "frank", "D3", 250),
+            (7, "grace", "D1", 120),
+        ],
+    )
+    db.create_table(
+        "department",
+        ["deptno", "deptname", "mgrno"],
+        primary_key=["deptno"],
+        rows=[
+            ("D1", "Planning", 1),
+            ("D2", "Ops", 3),
+            ("D3", "HR", 5),
+        ],
+    )
+    return db
+
+
+@pytest.fixture
+def empdept_conn(empdept_db):
+    conn = Connection(empdept_db)
+    conn.run_script(
+        """
+        CREATE VIEW mgrSal (empno, empname, workdept, salary) AS
+          SELECT e.empno, e.empname, e.workdept, e.salary
+          FROM employee e, department d
+          WHERE e.empno = d.mgrno;
+        CREATE VIEW avgMgrSal (workdept, avgsalary) AS
+          SELECT workdept, AVG(salary) FROM mgrSal GROUP BY workdept;
+        """
+    )
+    return conn
+
+
+@pytest.fixture
+def numbers_db():
+    """A tiny generic database for expression/set-op tests, with NULLs and
+    duplicates."""
+    db = Database()
+    db.create_table(
+        "t",
+        ["a", "b", "c"],
+        rows=[
+            (1, 10, "x"),
+            (2, 20, "y"),
+            (2, 20, "y"),
+            (3, None, "z"),
+            (4, 40, None),
+        ],
+    )
+    db.create_table(
+        "s",
+        ["a", "d"],
+        rows=[(1, 100), (2, 200), (5, 500), (None, 600)],
+    )
+    return db
+
+

@@ -1,0 +1,33 @@
+"""Test helpers shared across modules."""
+
+from __future__ import annotations
+
+
+def canonical(rows):
+    """Sort rows and round floats so differently-ordered sums compare
+    equal. NULLs (None) and mixed types sort by repr."""
+
+    def canon(value):
+        if isinstance(value, float):
+            return float("%.10g" % value)
+        return value
+
+    out = [tuple(canon(v) for v in row) for row in rows]
+    return sorted(out, key=repr)
+
+
+def assert_same_rows(left, right):
+    assert canonical(left) == canonical(right)
+
+
+def run_all_strategies(conn, sql, strategies=("original", "correlated", "emst")):
+    """Execute under every strategy; assert all agree; return the rows."""
+    reference = None
+    for strategy in strategies:
+        outcome = conn.explain_execute(sql, strategy=strategy)
+        rows = canonical(outcome.rows)
+        if reference is None:
+            reference = rows
+        else:
+            assert rows == reference, "strategy %s disagrees on %r" % (strategy, sql)
+    return reference

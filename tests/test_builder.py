@@ -1,0 +1,266 @@
+"""SQL → QGM builder tests (structure of the produced graphs)."""
+
+import pytest
+
+from repro.errors import BindError, NotSupportedError
+from repro.sql import parse_statement
+from repro.qgm import (
+    BoxKind,
+    DistinctMode,
+    QuantifierType,
+    build_query_graph,
+    validate_graph,
+)
+
+
+def build(sql, db):
+    graph = build_query_graph(parse_statement(sql), db.catalog)
+    validate_graph(graph)
+    return graph
+
+
+def test_simple_select_box(empdept_db):
+    graph = build("SELECT empno, salary FROM employee WHERE salary > 100", empdept_db)
+    top = graph.top_box
+    assert top.kind == BoxKind.SELECT
+    assert top.column_names == ["empno", "salary"]
+    assert len(top.predicates) == 1
+    assert top.quantifiers[0].input_box.kind == BoxKind.BASE
+
+
+def test_base_boxes_are_shared(empdept_db):
+    graph = build(
+        "SELECT e.empno FROM employee e, employee e2 WHERE e.empno = e2.empno",
+        empdept_db,
+    )
+    targets = [q.input_box for q in graph.top_box.quantifiers]
+    assert targets[0] is targets[1]
+
+
+def test_groupby_triplet_structure(empdept_db):
+    graph = build(
+        "SELECT workdept, AVG(salary) FROM employee GROUP BY workdept "
+        "HAVING COUNT(*) > 1",
+        empdept_db,
+    )
+    having_box = graph.top_box
+    assert having_box.kind == BoxKind.SELECT
+    assert having_box.predicates  # the HAVING condition
+    groupby = having_box.quantifiers[0].input_box
+    assert groupby.kind == BoxKind.GROUPBY
+    assert len(groupby.group_keys) == 1
+    t1 = groupby.quantifiers[0].input_box
+    assert t1.kind == BoxKind.SELECT
+
+
+def test_scalar_aggregate_without_group_by(empdept_db):
+    graph = build("SELECT AVG(salary) FROM employee", empdept_db)
+    groupby = graph.top_box.quantifiers[0].input_box
+    assert groupby.kind == BoxKind.GROUPBY
+    assert groupby.group_keys == []
+
+
+def test_distinct_sets_enforce(empdept_db):
+    graph = build("SELECT DISTINCT workdept FROM employee", empdept_db)
+    assert graph.top_box.distinct == DistinctMode.ENFORCE
+
+
+def test_union_box_and_all_flag(empdept_db):
+    graph = build(
+        "SELECT empno FROM employee UNION ALL SELECT mgrno FROM department",
+        empdept_db,
+    )
+    assert graph.top_box.kind == BoxKind.UNION
+    assert graph.top_box.distinct == DistinctMode.PRESERVE
+    graph = build(
+        "SELECT empno FROM employee UNION SELECT mgrno FROM department",
+        empdept_db,
+    )
+    assert graph.top_box.distinct == DistinctMode.ENFORCE
+
+
+def test_except_and_intersect(empdept_db):
+    graph = build(
+        "SELECT empno FROM employee EXCEPT SELECT mgrno FROM department",
+        empdept_db,
+    )
+    assert graph.top_box.kind == BoxKind.EXCEPT
+    graph = build(
+        "SELECT empno FROM employee INTERSECT SELECT mgrno FROM department",
+        empdept_db,
+    )
+    assert graph.top_box.kind == BoxKind.INTERSECT
+
+
+def test_set_op_arity_mismatch_rejected(empdept_db):
+    with pytest.raises(BindError):
+        build(
+            "SELECT empno, salary FROM employee UNION SELECT mgrno FROM department",
+            empdept_db,
+        )
+
+
+def test_in_subquery_creates_existential_quantifier(empdept_db):
+    graph = build(
+        "SELECT empname FROM employee WHERE workdept IN "
+        "(SELECT deptno FROM department)",
+        empdept_db,
+    )
+    subs = graph.top_box.subquery_quantifiers()
+    assert len(subs) == 1
+    assert subs[0].qtype == QuantifierType.EXISTENTIAL
+
+
+def test_not_in_creates_null_aware_anti(empdept_db):
+    graph = build(
+        "SELECT empname FROM employee WHERE workdept NOT IN "
+        "(SELECT deptno FROM department)",
+        empdept_db,
+    )
+    sub = graph.top_box.subquery_quantifiers()[0]
+    assert sub.qtype == QuantifierType.ANTI
+    assert sub.null_aware
+
+
+def test_not_exists_creates_plain_anti(empdept_db):
+    graph = build(
+        "SELECT empname FROM employee e WHERE NOT EXISTS "
+        "(SELECT deptno FROM department d WHERE d.mgrno = e.empno)",
+        empdept_db,
+    )
+    sub = graph.top_box.subquery_quantifiers()[0]
+    assert sub.qtype == QuantifierType.ANTI
+    assert not sub.null_aware
+
+
+def test_correlated_subquery_references_outer_quantifier(empdept_db):
+    graph = build(
+        "SELECT empname FROM employee e WHERE EXISTS "
+        "(SELECT deptno FROM department d WHERE d.mgrno = e.empno)",
+        empdept_db,
+    )
+    sub_box = graph.top_box.subquery_quantifiers()[0].input_box
+    correlated = sub_box.correlated_quantifiers()
+    assert len(correlated) == 1
+    assert correlated[0] in graph.top_box.quantifiers
+
+
+def test_scalar_subquery_quantifier(empdept_db):
+    graph = build(
+        "SELECT empname FROM employee e WHERE salary > "
+        "(SELECT AVG(salary) FROM employee e2 WHERE e2.workdept = e.workdept)",
+        empdept_db,
+    )
+    sub = graph.top_box.subquery_quantifiers()[0]
+    assert sub.qtype == QuantifierType.SCALAR
+
+
+def test_view_expansion_shares_box(empdept_conn):
+    db = empdept_conn.database
+    graph = build(
+        "SELECT a.workdept FROM avgMgrSal a, avgMgrSal b "
+        "WHERE a.workdept = b.workdept",
+        db,
+    )
+    targets = [q.input_box for q in graph.top_box.foreach_quantifiers()]
+    assert targets[0] is targets[1]  # common subexpression
+
+
+def test_view_column_rename(empdept_conn):
+    graph = build("SELECT workdept, avgsalary FROM avgMgrSal", empdept_conn.database)
+    view_box = graph.top_box.quantifiers[0].input_box
+    assert view_box.column_names == ["workdept", "avgsalary"]
+
+
+def test_unknown_table_rejected(empdept_db):
+    with pytest.raises(BindError):
+        build("SELECT a FROM nonexistent", empdept_db)
+
+
+def test_unknown_column_rejected(empdept_db):
+    with pytest.raises(BindError):
+        build("SELECT nonexistent FROM employee", empdept_db)
+
+
+def test_ambiguous_column_rejected(empdept_db):
+    with pytest.raises(BindError):
+        build(
+            "SELECT deptno FROM department d1, department d2",
+            empdept_db,
+        )
+
+
+def test_duplicate_from_alias_rejected(empdept_db):
+    with pytest.raises(BindError):
+        build("SELECT e.empno FROM employee e, department e", empdept_db)
+
+
+def test_select_star_with_group_by_rejected(empdept_db):
+    with pytest.raises(NotSupportedError):
+        build("SELECT * FROM employee GROUP BY workdept", empdept_db)
+
+
+def test_non_grouped_column_rejected(empdept_db):
+    with pytest.raises(BindError):
+        build(
+            "SELECT empname, AVG(salary) FROM employee GROUP BY workdept",
+            empdept_db,
+        )
+
+
+def test_having_without_group_rejected(empdept_db):
+    with pytest.raises(NotSupportedError):
+        build("SELECT empno FROM employee HAVING empno > 1", empdept_db)
+
+
+def test_recursive_cte_creates_cycle(empdept_db):
+    empdept_db.create_table(
+        "edge", ["src", "dst"], rows=[(1, 2), (2, 3)]
+    )
+    graph = build(
+        "WITH RECURSIVE reach (n) AS ("
+        "  SELECT dst FROM edge WHERE src = 1"
+        "  UNION SELECT e.dst FROM reach r, edge e WHERE e.src = r.n) "
+        "SELECT n FROM reach",
+        empdept_db,
+    )
+    from repro.qgm.stratum import is_recursive
+
+    assert is_recursive(graph)
+
+
+def test_order_by_position_and_name(empdept_db):
+    graph = build(
+        "SELECT empno, salary FROM employee ORDER BY salary DESC, 1",
+        empdept_db,
+    )
+    assert graph.order_by == [(1, False), (0, True)]
+
+
+def test_order_by_bad_position_rejected(empdept_db):
+    with pytest.raises(BindError):
+        build("SELECT empno FROM employee ORDER BY 5", empdept_db)
+
+
+def test_star_expansion_order(empdept_db):
+    graph = build("SELECT * FROM department", empdept_db)
+    assert graph.top_box.column_names == ["deptno", "deptname", "mgrno"]
+
+
+def test_duplicate_output_names_uniquified(empdept_db):
+    graph = build(
+        "SELECT e.empno, d.mgrno AS empno FROM employee e, department d",
+        empdept_db,
+    )
+    names = graph.top_box.column_names
+    assert len(set(n.lower() for n in names)) == 2
+
+
+def test_derived_table(empdept_db):
+    graph = build(
+        "SELECT x.n FROM (SELECT empno AS n FROM employee) AS x WHERE x.n > 2",
+        empdept_db,
+    )
+    child = graph.top_box.quantifiers[0].input_box
+    assert child.kind == BoxKind.SELECT
+    assert child.column_names == ["n"]

@@ -1,0 +1,106 @@
+"""Catalog, schema and statistics tests."""
+
+import pytest
+
+from repro.catalog import Catalog, ColumnDef, TableSchema, compute_statistics
+from repro.errors import CatalogError
+
+
+def make_schema():
+    return TableSchema(
+        name="t",
+        columns=[ColumnDef("a"), ColumnDef("b"), ColumnDef("c")],
+        primary_key=("a",),
+        unique_keys=[("b", "c")],
+    )
+
+
+def test_duplicate_column_rejected():
+    with pytest.raises(CatalogError):
+        TableSchema(name="t", columns=[ColumnDef("a"), ColumnDef("A")])
+
+
+def test_key_column_must_exist():
+    with pytest.raises(CatalogError):
+        TableSchema(name="t", columns=[ColumnDef("a")], primary_key=("zzz",))
+
+
+def test_column_ordinal_case_insensitive():
+    schema = make_schema()
+    assert schema.column_ordinal("A") == 0
+    assert schema.column_ordinal("c") == 2
+    with pytest.raises(CatalogError):
+        schema.column_ordinal("missing")
+
+
+def test_is_unique_on_superset_of_key():
+    schema = make_schema()
+    assert schema.is_unique_on(["a"])
+    assert schema.is_unique_on(["a", "b"])
+    assert schema.is_unique_on(["b", "c"])
+    assert not schema.is_unique_on(["b"])
+
+
+def test_catalog_add_and_resolve():
+    catalog = Catalog()
+    catalog.add_table(make_schema())
+    kind, schema = catalog.resolve("T")
+    assert kind == "table"
+    assert schema.name == "t"
+
+
+def test_catalog_duplicate_table_rejected():
+    catalog = Catalog()
+    catalog.add_table(make_schema())
+    with pytest.raises(CatalogError):
+        catalog.define_table("T", ["x"])
+
+
+def test_catalog_unknown_name_raises():
+    catalog = Catalog()
+    with pytest.raises(CatalogError):
+        catalog.table("nope")
+    with pytest.raises(CatalogError):
+        catalog.resolve("nope")
+
+
+def test_view_registration_and_shadowing():
+    from repro.sql import parse_statement
+
+    catalog = Catalog()
+    catalog.add_table(make_schema())
+    view = parse_statement("CREATE VIEW v AS SELECT a FROM t")
+    catalog.add_view(view)
+    assert catalog.has_view("V")
+    kind, _ = catalog.resolve("v")
+    assert kind == "view"
+    with pytest.raises(CatalogError):
+        catalog.add_view(parse_statement("CREATE VIEW t AS SELECT a FROM t"))
+    catalog.drop_view("v")
+    assert not catalog.has_view("v")
+
+
+def test_compute_statistics_counts_and_ranges():
+    schema = TableSchema(name="t", columns=[ColumnDef("a"), ColumnDef("b")])
+    rows = [(1, "x"), (2, "y"), (2, None), (5, "y")]
+    stats = compute_statistics(schema, rows)
+    assert stats.row_count == 4
+    a = stats.column("a")
+    assert a.distinct_count == 3
+    assert (a.min_value, a.max_value) == (1, 5)
+    b = stats.column("b")
+    assert b.null_count == 1
+    assert b.distinct_count == 2
+
+
+def test_statistics_mixed_types_have_no_range():
+    schema = TableSchema(name="t", columns=[ColumnDef("a")])
+    stats = compute_statistics(schema, [(1,), ("x",)])
+    assert stats.column("a").min_value is None
+
+
+def test_statistics_unknown_column_defaults_to_distinct():
+    schema = TableSchema(name="t", columns=[ColumnDef("a")])
+    stats = compute_statistics(schema, [(1,), (2,)])
+    fallback = stats.column("other")
+    assert fallback.distinct_count == 2

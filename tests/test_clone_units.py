@@ -1,0 +1,135 @@
+"""Clone machinery options: deep_derived, keep_linked_magic, selector
+predicate carrying, and supplementary-box construction mechanics."""
+
+from repro import Database
+from repro.sql import parse_statement
+from repro.qgm import BoxKind, build_query_graph, validate_graph
+from repro.qgm.clone import clone_box
+
+
+def view_graph():
+    db = Database()
+    db.create_table("t", ["a", "b"], rows=[(1, 2)])
+    db.catalog.add_view(
+        parse_statement(
+            "CREATE VIEW v (a, n) AS SELECT a, COUNT(*) FROM t GROUP BY a"
+        )
+    )
+    graph = build_query_graph(
+        parse_statement("SELECT v1.n FROM v v1 WHERE v1.a = 1"), db.catalog
+    )
+    return db, graph
+
+
+def test_shallow_clone_shares_derived_children():
+    db, graph = view_graph()
+    view_box = graph.top_box.quantifiers[0].input_box  # the HAVING box
+    copy, _ = clone_box(graph, view_box)
+    assert copy.quantifiers[0].input_box is view_box.quantifiers[0].input_box
+
+
+def test_deep_derived_clone_copies_whole_chain():
+    db, graph = view_graph()
+    view_box = graph.top_box.quantifiers[0].input_box
+    copy, _ = clone_box(graph, view_box, deep_derived=True)
+    original_groupby = view_box.quantifiers[0].input_box
+    copied_groupby = copy.quantifiers[0].input_box
+    assert copied_groupby is not original_groupby
+    assert copied_groupby.kind == BoxKind.GROUPBY
+    # Base tables stay shared even in deep clones.
+    original_t1 = original_groupby.quantifiers[0].input_box
+    copied_t1 = copied_groupby.quantifiers[0].input_box
+    assert copied_t1 is not original_t1
+    assert (
+        copied_t1.quantifiers[0].input_box
+        is original_t1.quantifiers[0].input_box
+    )
+
+
+def test_clone_names_are_fresh_quantifiers():
+    db, graph = view_graph()
+    view_box = graph.top_box.quantifiers[0].input_box
+    copy, quantifier_map = clone_box(graph, view_box, deep_derived=True)
+    original_names = {q.name for q in view_box.quantifiers}
+    copied_names = {q.name for q in copy.quantifiers}
+    assert not (original_names & copied_names)
+    assert all(old is not new for old, new in quantifier_map.items())
+
+
+def test_clone_keeps_linked_magic_when_asked():
+    db, graph = view_graph()
+    view_box = graph.top_box.quantifiers[0].input_box
+    marker = graph.new_box(BoxKind.SELECT, "MARKER")
+    view_box.linked_magic.append(marker)
+    with_links, _ = clone_box(graph, view_box, keep_linked_magic=True)
+    without_links, _ = clone_box(graph, view_box)
+    assert marker in with_links.linked_magic
+    assert not without_links.linked_magic
+
+
+def test_clone_carries_selector_predicates():
+    from repro.qgm import expr as qe
+
+    db = Database()
+    db.create_table("t", ["g", "v"], rows=[(1, 5)])
+    graph = build_query_graph(
+        parse_statement(
+            "SELECT g FROM t o WHERE v > (SELECT AVG(v) FROM t i WHERE i.g = o.g)"
+        ),
+        db.catalog,
+    )
+    from repro.optimizer.heuristic import optimize_with_heuristic
+    import copy as _copy
+
+    # Decorrelate (sets selector predicates), then deep-copy the graph as
+    # the heuristic snapshot machinery does, and clone the top box: the
+    # selectors must survive both.
+    result = optimize_with_heuristic(graph, db.catalog)
+    chosen = result.graph
+    scalars = [
+        q
+        for box in chosen.boxes()
+        for q in box.quantifiers
+        if q.qtype == "S" and q.selector_predicates
+    ]
+    if scalars:  # EMST may be rejected on a 1-row table; only check if not
+        top = chosen.top_box
+        copy, quantifier_map = clone_box(chosen, top)
+        copied_scalars = [
+            q for q in copy.quantifiers if q.qtype == "S"
+        ]
+        assert copied_scalars
+        assert copied_scalars[0].selector_predicates
+        for predicate in copied_scalars[0].selector_predicates:
+            for ref in qe.column_refs(predicate):
+                assert ref.quantifier not in top.quantifiers
+
+
+def test_supplementary_box_outputs_only_referenced_columns():
+    from repro.magic.magic_boxes import build_supplementary_box
+    from repro.rewrite.rule import RuleContext
+
+    db = Database()
+    db.create_table(
+        "wide", ["a", "b", "c", "d"], rows=[(1, 2, 3, 4)]
+    )
+    db.create_table("s", ["a"], rows=[(1,)])
+    graph = build_query_graph(
+        parse_statement(
+            "SELECT w.b FROM wide w, s WHERE w.a = s.a AND w.c = 3"
+        ),
+        db.catalog,
+    )
+    box = graph.top_box
+    prefix = [box.quantifier("w")]
+    context = RuleContext(graph, phase=2)
+    over = build_supplementary_box(graph, box, prefix, context)
+    supplementary = over.input_box
+    validate_graph(graph)
+    names = {c.name.lower() for c in supplementary.columns}
+    # b (output), a (join pred) are referenced; c's predicate moved inside;
+    # d is referenced nowhere and must not be exposed.
+    assert "d" not in names
+    assert {"a", "b"} <= names
+    # The moved local predicate lives in the supplementary box now.
+    assert any("c" in str(p) for p in supplementary.predicates)

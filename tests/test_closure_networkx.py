@@ -1,0 +1,94 @@
+"""Recursive-query results verified against networkx as an independent
+reference implementation (random graphs, property-based)."""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Connection, Database
+
+
+edges_strategy = st.lists(
+    st.tuples(st.integers(0, 12), st.integers(0, 12)),
+    min_size=1,
+    max_size=30,
+)
+
+
+def closure_sql(source):
+    return (
+        "WITH RECURSIVE reach (n) AS ("
+        "  SELECT dst FROM edge WHERE src = %d "
+        "  UNION "
+        "  SELECT e.dst FROM reach r, edge e WHERE e.src = r.n) "
+        "SELECT n FROM reach" % source
+    )
+
+
+def build_db(edges):
+    db = Database()
+    db.create_table("edge", ["src", "dst"], rows=edges)
+    return db
+
+
+@given(edges_strategy, st.integers(0, 12))
+@settings(max_examples=40, deadline=None)
+def test_reachability_matches_networkx(edges, source):
+    db = build_db(edges)
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(13))
+    graph.add_edges_from(edges)
+    expected = set(nx.descendants(graph, source))
+    # SQL semantics: a self-loop makes the source reachable from itself.
+    if graph.has_edge(source, source) or any(
+        source in nx.descendants(graph, succ) for succ in graph.successors(source)
+    ):
+        expected.add(source)
+    rows = Connection(db).execute(closure_sql(source), strategy="original").rows
+    assert {n for (n,) in rows} == expected
+
+
+@given(edges_strategy, st.integers(0, 12))
+@settings(max_examples=25, deadline=None)
+def test_emst_closure_matches_networkx(edges, source):
+    db = build_db(edges)
+    graph = nx.DiGraph()
+    graph.add_edges_from(edges)
+    if graph.has_node(source):
+        expected = set(nx.descendants(graph, source))
+        if graph.has_edge(source, source) or any(
+            source in nx.descendants(graph, succ)
+            for succ in graph.successors(source)
+        ):
+            expected.add(source)
+    else:
+        expected = set()
+    rows = Connection(db).execute(closure_sql(source), strategy="emst").rows
+    assert {n for (n,) in rows} == expected
+
+
+@given(edges_strategy)
+@settings(max_examples=25, deadline=None)
+def test_full_closure_matches_networkx(edges):
+    db = build_db(edges)
+    sql = (
+        "WITH RECURSIVE path (src, dst) AS ("
+        "  SELECT src, dst FROM edge "
+        "  UNION "
+        "  SELECT p.src, e.dst FROM path p, edge e WHERE e.src = p.dst) "
+        "SELECT src, dst FROM path"
+    )
+    rows = set(Connection(db).execute(sql, strategy="original").rows)
+    graph = nx.DiGraph()
+    graph.add_edges_from(edges)
+    expected = set()
+    for node in graph.nodes:
+        for descendant in nx.descendants(graph, node):
+            expected.add((node, descendant))
+        # self-reachability through a cycle
+        if any(
+            node in nx.descendants(graph, succ) or succ == node
+            for succ in graph.successors(node)
+        ):
+            expected.add((node, node))
+    assert rows == expected

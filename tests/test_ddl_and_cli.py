@@ -1,0 +1,290 @@
+"""CREATE TABLE / INSERT statements and the command-line shell."""
+
+import io
+
+import pytest
+
+from repro import Connection, Database
+from repro.errors import NotSupportedError
+from repro.sql import parse_statement, to_sql
+from repro.sql import ast
+
+
+# -- parsing ---------------------------------------------------------------------
+
+
+def test_parse_create_table_with_types_and_keys():
+    statement = parse_statement(
+        "CREATE TABLE t (id INT PRIMARY KEY, name VARCHAR(20), v FLOAT UNIQUE)"
+    )
+    assert isinstance(statement, ast.CreateTable)
+    assert [c.name for c in statement.columns] == ["id", "name", "v"]
+    assert statement.primary_key == ["id"]
+    assert ["v"] in statement.unique_keys
+
+
+def test_parse_create_table_table_level_keys():
+    statement = parse_statement(
+        "CREATE TABLE t (a, b, c, PRIMARY KEY (a, b), UNIQUE (c))"
+    )
+    assert statement.primary_key == ["a", "b"]
+    assert ["c"] in statement.unique_keys
+
+
+def test_parse_insert_multiple_rows():
+    statement = parse_statement(
+        "INSERT INTO t VALUES (1, 'x', NULL), (2, 'y', 3.5)"
+    )
+    assert isinstance(statement, ast.InsertValues)
+    assert len(statement.rows) == 2
+
+
+def test_create_table_round_trip():
+    text = "CREATE TABLE t (id INT PRIMARY KEY, name TEXT)"
+    printed = to_sql(parse_statement(text))
+    assert to_sql(parse_statement(printed)) == printed
+
+
+def test_insert_round_trip():
+    text = "INSERT INTO t VALUES (1, 'a'), (2, NULL)"
+    printed = to_sql(parse_statement(text))
+    assert to_sql(parse_statement(printed)) == printed
+
+
+# -- execution through run_script ----------------------------------------------------
+
+
+def test_ddl_dml_query_pipeline():
+    conn = Connection(Database())
+    outcome = conn.run_script(
+        """
+        CREATE TABLE emp (id INT PRIMARY KEY, dept TEXT, sal INT);
+        INSERT INTO emp VALUES (1, 'a', 100), (2, 'a', 200), (3, 'b', 50);
+        SELECT dept, SUM(sal) AS total FROM emp GROUP BY dept ORDER BY dept;
+        """
+    )
+    assert outcome.rows == [("a", 300), ("b", 50)]
+
+
+def test_insert_constant_expressions():
+    conn = Connection(Database())
+    outcome = conn.run_script(
+        """
+        CREATE TABLE t (a, b);
+        INSERT INTO t VALUES (1 + 2, -4), (2 * 3, 10 / 2);
+        SELECT a, b FROM t ORDER BY a;
+        """
+    )
+    assert outcome.rows == [(3, -4), (6, 5)]
+
+
+def test_insert_non_constant_rejected():
+    conn = Connection(Database())
+    conn.run_script("CREATE TABLE t (a)")
+    with pytest.raises(NotSupportedError):
+        conn.run_script("INSERT INTO t VALUES (a + 1)")
+
+
+def test_insert_updates_statistics():
+    conn = Connection(Database())
+    conn.run_script("CREATE TABLE t (a); INSERT INTO t VALUES (1), (2), (3)")
+    assert conn.database.catalog.statistics("t").row_count == 3
+
+
+def test_primary_key_feeds_distinct_pullup():
+    conn = Connection(Database())
+    conn.run_script(
+        "CREATE TABLE t (id INT PRIMARY KEY, v INT); "
+        "INSERT INTO t VALUES (1, 10), (2, 10)"
+    )
+    outcome = conn.explain_execute("SELECT DISTINCT id, v FROM t")
+    assert len(outcome.rows) == 2
+
+
+# -- the shell ----------------------------------------------------------------------------
+
+
+def make_shell():
+    from repro.__main__ import Shell
+
+    return Shell(Database())
+
+
+def test_shell_runs_sql(capsys):
+    shell = make_shell()
+    out = io.StringIO()
+    shell.run_sql(
+        "CREATE TABLE t (a); INSERT INTO t VALUES (1), (2); "
+        "SELECT a FROM t ORDER BY a;",
+        out=out,
+    )
+    text = out.getvalue()
+    assert "ok" in text
+    assert "(2 rows)" in text
+
+
+def test_shell_strategy_command():
+    shell = make_shell()
+    out = io.StringIO()
+    assert shell.run_command("\\strategy correlated", out)
+    assert shell.strategy == "correlated"
+    shell.run_command("\\strategy bogus", out)
+    assert shell.strategy == "correlated"
+    assert "unknown strategy" in out.getvalue()
+
+
+def test_shell_tables_command():
+    shell = make_shell()
+    shell.run_sql("CREATE TABLE t (a);", out=io.StringIO())
+    out = io.StringIO()
+    shell.run_command("\\tables", out)
+    assert "table t(a)" in out.getvalue()
+
+
+def test_shell_quit():
+    shell = make_shell()
+    assert shell.run_command("\\q", io.StringIO()) is False
+
+
+def test_shell_repl_flow():
+    from repro.__main__ import Shell
+
+    stdin = io.StringIO(
+        "CREATE TABLE t (a);\nINSERT INTO t VALUES (7);\n"
+        "SELECT a FROM t;\n\\q\n"
+    )
+    out = io.StringIO()
+    Shell(Database()).repl(stdin=stdin, out=out)
+    assert "7" in out.getvalue()
+
+
+def test_shell_repl_reports_errors():
+    from repro.__main__ import Shell
+
+    stdin = io.StringIO("SELECT nope FROM nowhere;\n\\q\n")
+    out = io.StringIO()
+    Shell(Database()).repl(stdin=stdin, out=out)
+    assert "error:" in out.getvalue()
+
+
+def test_format_result_nulls_and_truncation():
+    from repro.__main__ import format_result
+    from repro.engine.evaluator import Result
+
+    result = Result(columns=["a", "b"], rows=[(1, None)] * 150)
+    text = format_result(result, max_rows=5)
+    assert "NULL" in text
+    assert "150 rows" in text
+    assert "5 shown" in text
+
+
+def test_main_script_mode(tmp_path, capsys):
+    from repro.__main__ import main
+
+    script = tmp_path / "s.sql"
+    script.write_text(
+        "CREATE TABLE t (a); INSERT INTO t VALUES (1); SELECT a FROM t;"
+    )
+    assert main([str(script)]) == 0
+    captured = capsys.readouterr()
+    assert "(1 rows)" in captured.out
+
+
+def test_main_script_mode_error(tmp_path, capsys):
+    from repro.__main__ import main
+
+    script = tmp_path / "bad.sql"
+    script.write_text("SELECT x FROM nothing;")
+    assert main([str(script)]) == 1
+
+
+def test_demo_database_loads():
+    from repro.__main__ import demo_database
+
+    db = demo_database()
+    assert db.catalog.has_view("avgMgrSal")
+    conn = Connection(db)
+    rows = conn.execute(
+        "SELECT avgsalary FROM avgMgrSal WHERE workdept = 'D0000'"
+    ).rows
+    assert len(rows) == 1
+
+
+# -- DELETE / UPDATE -----------------------------------------------------------
+
+
+def test_delete_with_predicate():
+    conn = Connection(Database())
+    conn.run_script(
+        "CREATE TABLE t (a, b); INSERT INTO t VALUES (1, 10), (2, 20), (3, 30); "
+        "DELETE FROM t WHERE b >= 20"
+    )
+    assert conn.execute("SELECT a FROM t").rows == [(1,)]
+
+
+def test_delete_without_predicate_empties_table():
+    conn = Connection(Database())
+    conn.run_script("CREATE TABLE t (a); INSERT INTO t VALUES (1), (2); DELETE FROM t")
+    assert conn.execute("SELECT a FROM t").rows == []
+    assert conn.database.catalog.statistics("t").row_count == 0
+
+
+def test_update_with_expression():
+    conn = Connection(Database())
+    conn.run_script(
+        "CREATE TABLE t (a, b); INSERT INTO t VALUES (1, 10), (2, 20); "
+        "UPDATE t SET b = b + a WHERE a = 2"
+    )
+    assert sorted(conn.execute("SELECT a, b FROM t").rows) == [(1, 10), (2, 22)]
+
+
+def test_update_multiple_assignments():
+    conn = Connection(Database())
+    conn.run_script(
+        "CREATE TABLE t (a, b); INSERT INTO t VALUES (1, 10); "
+        "UPDATE t SET a = 5, b = a * 100"
+    )
+    # The right-hand sides see the OLD row values.
+    assert conn.execute("SELECT a, b FROM t").rows == [(5, 100)]
+
+
+def test_delete_with_correlated_subquery():
+    conn = Connection(Database())
+    conn.run_script(
+        "CREATE TABLE t (g, v); INSERT INTO t VALUES (1, 5), (1, 50), (2, 7); "
+        "CREATE TABLE caps (g, cap); INSERT INTO caps VALUES (1, 10), (2, 10); "
+        "DELETE FROM t WHERE v > (SELECT cap FROM caps WHERE caps.g = t.g)"
+    )
+    assert sorted(conn.execute("SELECT g, v FROM t").rows) == [(1, 5), (2, 7)]
+
+
+def test_delete_with_exists_subquery():
+    conn = Connection(Database())
+    conn.run_script(
+        "CREATE TABLE t (a); INSERT INTO t VALUES (1), (2), (3); "
+        "CREATE TABLE bad (a); INSERT INTO bad VALUES (2); "
+        "DELETE FROM t WHERE EXISTS (SELECT 1 FROM bad WHERE bad.a = t.a)"
+    )
+    assert sorted(conn.execute("SELECT a FROM t").rows) == [(1,), (3,)]
+
+
+def test_update_refreshes_indexes_and_stats():
+    conn = Connection(Database())
+    conn.run_script(
+        "CREATE TABLE t (a, b); INSERT INTO t VALUES (1, 10), (2, 20)"
+    )
+    table = conn.database.table("t")
+    table.index_on("b")
+    conn.run_script("UPDATE t SET b = 99")
+    assert 99 in table.index_on("b")
+    assert conn.database.catalog.statistics("t").column("b").distinct_count == 1
+
+
+def test_delete_update_round_trip_through_printer():
+    for text in (
+        "DELETE FROM t WHERE a = 1",
+        "DELETE FROM t",
+        "UPDATE t SET a = 1, b = a + 2 WHERE b < 3",
+    ):
+        printed = to_sql(parse_statement(text))
+        assert to_sql(parse_statement(printed)) == printed

@@ -1,0 +1,98 @@
+"""Error-path coverage: every subsystem raises the documented exception
+type with a useful message."""
+
+import pytest
+
+from repro import Connection, Database
+from repro.errors import (
+    BindError,
+    CatalogError,
+    ExecutionError,
+    LexError,
+    MagicError,
+    NotSupportedError,
+    ParseError,
+    QgmError,
+    ReproError,
+    RewriteError,
+    SqlError,
+)
+
+
+def test_exception_hierarchy():
+    assert issubclass(LexError, SqlError)
+    assert issubclass(ParseError, SqlError)
+    assert issubclass(SqlError, ReproError)
+    assert issubclass(MagicError, RewriteError)
+    assert issubclass(RewriteError, ReproError)
+    for exc in (CatalogError, BindError, QgmError, ExecutionError, NotSupportedError):
+        assert issubclass(exc, ReproError)
+
+
+def test_lex_error_carries_position():
+    from repro.sql import tokenize
+
+    with pytest.raises(LexError) as info:
+        tokenize("select ?")
+    assert "line 1" in str(info.value)
+
+
+def test_parse_error_carries_position():
+    from repro.sql import parse_statement
+
+    with pytest.raises(ParseError) as info:
+        parse_statement("SELECT FROM t")
+    assert "line" in str(info.value)
+
+
+def test_bind_error_names_the_column(empdept_db):
+    with pytest.raises(BindError) as info:
+        Connection(empdept_db).execute("SELECT bogus FROM employee")
+    assert "bogus" in str(info.value)
+
+
+def test_catalog_error_names_the_table():
+    db = Database()
+    with pytest.raises(BindError) as info:
+        Connection(db).execute("SELECT x FROM nothere")
+    assert "nothere" in str(info.value)
+
+
+def test_unsupported_subquery_position(empdept_db):
+    with pytest.raises(NotSupportedError):
+        Connection(empdept_db).execute(
+            "SELECT empno FROM employee "
+            "WHERE empno = 1 OR workdept IN (SELECT deptno FROM department)"
+        )
+
+
+def test_magic_error_on_unregistered_kind():
+    from repro.magic.properties import operation_properties
+
+    with pytest.raises(MagicError):
+        operation_properties("NO_SUCH_KIND")
+
+
+def test_adornment_validates_letters():
+    from repro.magic.adornment import Adornment
+
+    with pytest.raises(MagicError):
+        Adornment("bfx")
+
+
+def test_execution_error_on_scalar_cardinality(empdept_db):
+    with pytest.raises(ExecutionError):
+        Connection(empdept_db).execute(
+            "SELECT empno FROM employee WHERE empno = (SELECT empno FROM employee)"
+        )
+
+
+def test_all_errors_catchable_as_repro_error(empdept_db):
+    conn = Connection(empdept_db)
+    for bad in (
+        "SELECT",  # parse
+        "SELECT x FROM employee",  # bind
+        "SELECT empno FROM nowhere",  # catalog/bind
+    ):
+        with pytest.raises(ReproError):
+            conn.execute(bad)

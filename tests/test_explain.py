@@ -1,0 +1,122 @@
+"""Physical-plan (EXPLAIN) rendering."""
+
+from repro import Connection, Database
+from repro.sql import parse_statement
+from repro.qgm import build_query_graph
+from repro.optimizer import optimize_graph
+from repro.optimizer.explain import physical_plan
+
+
+def plan_text(db, sql):
+    graph = build_query_graph(parse_statement(sql), db.catalog)
+    plan = optimize_graph(graph, db.catalog)
+    return physical_plan(graph, plan, db.catalog)
+
+
+def test_scan_then_hashjoin(empdept_db):
+    text = plan_text(
+        empdept_db,
+        "SELECT e.empname FROM employee e, department d WHERE e.workdept = d.deptno",
+    )
+    assert "SCAN" in text
+    assert "HASHJOIN" in text
+    assert "RETURN SELECT" in text
+
+
+def test_cross_product_shows_nljoin(empdept_db):
+    text = plan_text(
+        empdept_db, "SELECT e.empno FROM employee e, department d"
+    )
+    assert "NLJOIN" in text
+
+
+def test_filter_and_distinct_shown(empdept_db):
+    # A predicate over no table at all stays a residual FILTER.
+    text = plan_text(
+        empdept_db,
+        "SELECT DISTINCT empname FROM employee WHERE 1 = 1",
+    )
+    assert "FILTER" in text
+    assert "DISTINCT" in text
+
+
+def test_local_predicate_applied_at_scan(empdept_db):
+    text = plan_text(
+        empdept_db,
+        "SELECT empname FROM employee WHERE salary > 100",
+    )
+    assert "SCAN" in text
+    assert "ON (employee.salary > 100)" in text or "ON (" in text
+
+
+def test_groupby_rendering(empdept_db):
+    text = plan_text(
+        empdept_db,
+        "SELECT workdept, AVG(salary) FROM employee GROUP BY workdept",
+    )
+    assert "GROUPBY [" in text
+    assert "AVG(" in text
+
+
+def test_semijoin_antijoin_scalar(empdept_db):
+    text = plan_text(
+        empdept_db,
+        "SELECT empname FROM employee e WHERE workdept IN "
+        "(SELECT deptno FROM department) "
+        "AND NOT EXISTS (SELECT 1 FROM department d2 WHERE d2.mgrno = e.empno) "
+        "AND salary > (SELECT AVG(salary) FROM employee e3)",
+    )
+    assert "SEMIJOIN" in text
+    assert "ANTIJOIN" in text
+    assert "SCALAR" in text
+
+
+def test_setop_rendering(empdept_db):
+    text = plan_text(
+        empdept_db,
+        "SELECT empno FROM employee EXCEPT SELECT mgrno FROM department",
+    )
+    assert "EXCEPT DISTINCT" in text
+
+
+def test_outerjoin_rendering(empdept_db):
+    text = plan_text(
+        empdept_db,
+        "SELECT e.empname, d.deptname FROM employee e "
+        "LEFT JOIN department d ON d.deptno = e.workdept",
+    )
+    assert "LEFT OUTER JOIN" in text
+
+
+def test_sort_and_limit_rendering(empdept_db):
+    text = plan_text(
+        empdept_db,
+        "SELECT empno FROM employee ORDER BY empno DESC LIMIT 3",
+    )
+    assert "SORT #1 DESC" in text
+    assert "LIMIT 3" in text
+
+
+def test_fixpoint_rendering(empdept_db):
+    empdept_db.create_table("edge", ["src", "dst"], rows=[(1, 2)])
+    text = plan_text(
+        empdept_db,
+        "WITH RECURSIVE r (n) AS (SELECT dst FROM edge UNION "
+        "SELECT e.dst FROM r x, edge e WHERE e.src = x.n) SELECT n FROM r",
+    )
+    assert "FIXPOINT" in text
+
+
+def test_magic_quantifier_labelled(empdept_conn):
+    text = empdept_conn.explain(
+        "SELECT d.deptname, s.avgsalary FROM department d, avgMgrSal s "
+        "WHERE d.deptno = s.workdept AND d.deptname = 'Planning'",
+        strategy="emst",
+    )
+    assert "physical plan:" in text
+    assert "MATERIALIZE" in text
+
+
+def test_row_estimates_present(empdept_db):
+    text = plan_text(empdept_db, "SELECT empno FROM employee")
+    assert "~7 rows" in text

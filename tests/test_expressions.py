@@ -1,0 +1,272 @@
+"""Runtime expression evaluation: three-valued logic, NULL propagation,
+LIKE, scalar functions."""
+
+import pytest
+
+from repro.engine.expressions import (
+    arithmetic,
+    compare,
+    evaluate,
+    like_match,
+    predicate_holds,
+    sql_and,
+    sql_not,
+    sql_or,
+)
+from repro.errors import ExecutionError
+from repro.qgm import expr as qe
+from repro.qgm.model import Box, BoxKind, OutputColumn, Quantifier, QuantifierType
+
+
+def make_env(values, columns=("a", "b")):
+    base = Box(
+        kind=BoxKind.BASE,
+        name="T",
+        columns=[OutputColumn(name=c) for c in columns],
+    )
+    quantifier = Quantifier(name="t", qtype=QuantifierType.FOREACH, input_box=base)
+    return quantifier, {quantifier: tuple(values)}
+
+
+# -- three-valued logic -------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "left,right,expected",
+    [
+        (True, True, True),
+        (True, False, False),
+        (False, None, False),
+        (True, None, None),
+        (None, None, None),
+    ],
+)
+def test_sql_and(left, right, expected):
+    assert sql_and(left, right) is expected
+
+
+@pytest.mark.parametrize(
+    "left,right,expected",
+    [
+        (False, False, False),
+        (True, None, True),
+        (False, None, None),
+        (None, None, None),
+    ],
+)
+def test_sql_or(left, right, expected):
+    assert sql_or(left, right) is expected
+
+
+def test_sql_not():
+    assert sql_not(True) is False
+    assert sql_not(False) is True
+    assert sql_not(None) is None
+
+
+def test_comparisons_with_null_are_unknown():
+    for op in ("=", "<>", "<", "<=", ">", ">="):
+        assert compare(op, None, 1) is None
+        assert compare(op, 1, None) is None
+
+
+def test_comparisons_basic():
+    assert compare("=", 2, 2) is True
+    assert compare("<>", 2, 3) is True
+    assert compare("<", "a", "b") is True
+    assert compare(">=", 5, 5) is True
+
+
+def test_incomparable_types_raise():
+    with pytest.raises(ExecutionError):
+        compare("<", 1, "x")
+
+
+# -- arithmetic ----------------------------------------------------------------
+
+
+def test_arithmetic_null_propagates():
+    for op in ("+", "-", "*", "/", "%", "||"):
+        assert arithmetic(op, None, 1) is None
+
+
+def test_integer_division_exact_stays_int():
+    assert arithmetic("/", 6, 3) == 2
+    assert isinstance(arithmetic("/", 6, 3), int)
+    assert arithmetic("/", 7, 2) == 3.5
+
+
+def test_division_by_zero_raises():
+    with pytest.raises(ExecutionError):
+        arithmetic("/", 1, 0)
+    with pytest.raises(ExecutionError):
+        arithmetic("%", 1, 0)
+
+
+def test_concat_coerces_to_string():
+    assert arithmetic("||", "x", 1) == "x1"
+
+
+# -- LIKE ------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "value,pattern,expected",
+    [
+        ("hello", "h%", True),
+        ("hello", "%lo", True),
+        ("hello", "h_llo", True),
+        ("hello", "H%", False),
+        ("a.b", "a.b", True),
+        ("axb", "a.b", False),  # dot is literal
+        (None, "x", None),
+        ("x", None, None),
+    ],
+)
+def test_like_match(value, pattern, expected):
+    assert like_match(value, pattern) is expected
+
+
+# -- evaluate over environments ---------------------------------------------------
+
+
+def test_column_reference_lookup():
+    quantifier, env = make_env((7, 8))
+    assert evaluate(quantifier.ref("b"), env) == 8
+
+
+def test_unbound_quantifier_raises():
+    quantifier, _ = make_env((7, 8))
+    with pytest.raises(ExecutionError):
+        evaluate(quantifier.ref("a"), {})
+
+
+def test_case_expression_first_true_branch():
+    quantifier, env = make_env((2, 0))
+    expr = qe.QCase(
+        branches=[
+            (qe.QBinary("=", quantifier.ref("a"), qe.QLiteral(1)), qe.QLiteral("one")),
+            (qe.QBinary("=", quantifier.ref("a"), qe.QLiteral(2)), qe.QLiteral("two")),
+        ],
+        default=qe.QLiteral("other"),
+    )
+    assert evaluate(expr, env) == "two"
+
+
+def test_case_without_default_yields_null():
+    quantifier, env = make_env((9, 0))
+    expr = qe.QCase(
+        branches=[(qe.QBinary("=", quantifier.ref("a"), qe.QLiteral(1)), qe.QLiteral("one"))]
+    )
+    assert evaluate(expr, env) is None
+
+
+def test_is_null_and_negation():
+    quantifier, env = make_env((None, 1))
+    assert evaluate(qe.QIsNull(operand=quantifier.ref("a")), env) is True
+    assert evaluate(qe.QIsNull(operand=quantifier.ref("a"), negated=True), env) is False
+
+
+def test_predicate_holds_only_on_true():
+    quantifier, env = make_env((None, 1))
+    unknown = qe.QBinary("=", quantifier.ref("a"), qe.QLiteral(1))
+    assert predicate_holds(unknown, env) is False
+
+
+# -- scalar functions ----------------------------------------------------------------
+
+
+def test_builtin_scalar_functions():
+    env = {}
+    assert evaluate(qe.QFunc("UPPER", [qe.QLiteral("ab")]), env) == "AB"
+    assert evaluate(qe.QFunc("LOWER", [qe.QLiteral("AB")]), env) == "ab"
+    assert evaluate(qe.QFunc("LENGTH", [qe.QLiteral("abc")]), env) == 3
+    assert evaluate(qe.QFunc("ABS", [qe.QLiteral(-4)]), env) == 4
+    assert evaluate(qe.QFunc("MOD", [qe.QLiteral(7), qe.QLiteral(3)]), env) == 1
+    assert (
+        evaluate(qe.QFunc("COALESCE", [qe.QLiteral(None), qe.QLiteral(5)]), env) == 5
+    )
+    assert (
+        evaluate(qe.QFunc("SUBSTR", [qe.QLiteral("hello"), qe.QLiteral(2), qe.QLiteral(3)]), env)
+        == "ell"
+    )
+
+
+def test_scalar_functions_null_propagation():
+    env = {}
+    assert evaluate(qe.QFunc("UPPER", [qe.QLiteral(None)]), env) is None
+    assert evaluate(qe.QFunc("ABS", [qe.QLiteral(None)]), env) is None
+
+
+def test_unknown_function_raises():
+    with pytest.raises(ExecutionError):
+        evaluate(qe.QFunc("NOPE", [qe.QLiteral(1)]), {})
+
+
+def test_custom_scalar_function_registration():
+    from repro.engine.expressions import scalar_function
+
+    @scalar_function("DOUBLE_IT")
+    def double_it(value):
+        return None if value is None else value * 2
+
+    assert evaluate(qe.QFunc("DOUBLE_IT", [qe.QLiteral(21)]), {}) == 42
+
+
+def test_aggregate_outside_groupby_raises():
+    with pytest.raises(ExecutionError):
+        evaluate(qe.QAggregate(func="SUM", arg=qe.QLiteral(1)), {})
+
+
+# -- compiled expressions ------------------------------------------------------
+
+
+def test_compile_expr_matches_evaluate():
+    from repro.engine.expressions import compile_expr
+
+    quantifier, env = make_env((3, None))
+    cases = [
+        qe.QLiteral(7),
+        quantifier.ref("a"),
+        qe.QBinary("+", quantifier.ref("a"), qe.QLiteral(4)),
+        qe.QBinary("=", quantifier.ref("a"), qe.QLiteral(3)),
+        qe.QBinary("AND", qe.QLiteral(True), qe.QIsNull(operand=quantifier.ref("b"))),
+        qe.QBinary("OR", qe.QLiteral(False), qe.QLiteral(None)),
+        qe.QUnary("NOT", qe.QLiteral(None)),
+        qe.QUnary("-", quantifier.ref("a")),
+        qe.QIsNull(operand=quantifier.ref("b"), negated=True),
+        qe.QLike(operand=qe.QLiteral("abc"), pattern=qe.QLiteral("a%")),
+        qe.QFunc("ABS", [qe.QUnary("-", quantifier.ref("a"))]),
+        qe.QCase(
+            branches=[(qe.QBinary("=", quantifier.ref("a"), qe.QLiteral(3)), qe.QLiteral("hit"))],
+            default=qe.QLiteral("miss"),
+        ),
+    ]
+    for expr in cases:
+        assert compile_expr(expr)(env) == evaluate(expr, env), str(expr)
+
+
+def test_compile_predicate_true_only():
+    from repro.engine.expressions import compile_predicate
+
+    quantifier, env = make_env((3, None))
+    unknown = qe.QBinary("=", quantifier.ref("b"), qe.QLiteral(1))
+    assert compile_predicate(unknown)(env) is False
+    true = qe.QBinary("=", quantifier.ref("a"), qe.QLiteral(3))
+    assert compile_predicate(true)(env) is True
+
+
+def test_compile_expr_unbound_quantifier_raises():
+    from repro.engine.expressions import compile_expr
+
+    quantifier, _ = make_env((1, 2))
+    fn = compile_expr(quantifier.ref("a"))
+    with pytest.raises(ExecutionError):
+        fn({})
+
+
+def test_compile_expr_rejects_aggregates():
+    from repro.engine.expressions import compile_expr
+
+    with pytest.raises(ExecutionError):
+        compile_expr(qe.QAggregate(func="SUM", arg=qe.QLiteral(1)))

@@ -1,0 +1,134 @@
+"""Integration battery: complex, realistic decision-support queries run
+under every strategy, all required to agree. This is the broad correctness
+net over the whole pipeline (parser → QGM → rewrite → EMST → plan →
+execute)."""
+
+import pytest
+
+from repro import Connection
+from repro.workloads.decision_support import build_decision_support_database
+from repro.workloads.empdept import PAPER_VIEWS_SQL, build_empdept_database
+
+from tests.helpers import run_all_strategies
+
+
+@pytest.fixture(scope="module")
+def ds_conn():
+    db = build_decision_support_database(scale=1.0, seed=77)
+    conn = Connection(db)
+    conn.run_script(
+        """
+        CREATE VIEW custRev (custkey, rev, norders) AS
+          SELECT o.custkey, SUM(o.totalprice), COUNT(*)
+          FROM orders o GROUP BY o.custkey;
+        CREATE VIEW bigParts (partkey, pname, brand) AS
+          SELECT partkey, pname, brand FROM part WHERE size > 25;
+        CREATE VIEW orderValue (orderkey, value) AS
+          SELECT l.orderkey, SUM(l.extendedprice * (1 - l.discount))
+          FROM lineitem l GROUP BY l.orderkey;
+        """
+    )
+    return conn
+
+
+@pytest.fixture(scope="module")
+def emp_conn():
+    db = build_empdept_database(
+        n_departments=60, employees_per_department=7, seed=78
+    )
+    conn = Connection(db)
+    conn.run_script(PAPER_VIEWS_SQL)
+    return conn
+
+
+DS_QUERIES = [
+    # restricted aggregate view
+    "SELECT c.cname, v.rev FROM customer c, custRev v "
+    "WHERE v.custkey = c.custkey AND c.mktsegment = 'MACHINERY'",
+    # two views joined
+    "SELECT o.orderkey, ov.value, cr.norders "
+    "FROM orders o, orderValue ov, custRev cr "
+    "WHERE ov.orderkey = o.orderkey AND cr.custkey = o.custkey "
+    "AND o.omonth = 6",
+    # view + IN subquery
+    "SELECT v.custkey, v.rev FROM custRev v WHERE v.custkey IN "
+    "(SELECT c.custkey FROM customer c WHERE c.nationkey = 3)",
+    # correlated EXISTS over orders
+    "SELECT c.cname FROM customer c WHERE EXISTS "
+    "(SELECT o.orderkey FROM orders o WHERE o.custkey = c.custkey "
+    " AND o.totalprice > 250000)",
+    # NOT EXISTS: customers without orders
+    "SELECT c.custkey FROM customer c WHERE NOT EXISTS "
+    "(SELECT o.orderkey FROM orders o WHERE o.custkey = c.custkey)",
+    # scalar correlated aggregate
+    "SELECT o.orderkey FROM orders o WHERE o.totalprice > "
+    "(SELECT AVG(o2.totalprice) FROM orders o2 WHERE o2.custkey = o.custkey) * 1.5",
+    # grouped over a join with HAVING
+    "SELECT c.nationkey, COUNT(*) AS n, SUM(o.totalprice) AS total "
+    "FROM customer c, orders o WHERE o.custkey = c.custkey "
+    "GROUP BY c.nationkey HAVING COUNT(*) > 20",
+    # set operation between views
+    "SELECT custkey FROM custRev WHERE rev > 500000 "
+    "EXCEPT SELECT custkey FROM customer WHERE acctbal < 0",
+    # left join with aggregation above
+    "SELECT c.custkey, COUNT(o.orderkey) AS n FROM customer c "
+    "LEFT JOIN orders o ON o.custkey = c.custkey "
+    "GROUP BY c.custkey HAVING COUNT(o.orderkey) = 0",
+    # derived table with distinct + join
+    "SELECT d.brand, COUNT(*) AS n FROM "
+    "(SELECT DISTINCT l.partkey FROM lineitem l WHERE l.quantity > 45) AS hot, "
+    "part d WHERE d.partkey = hot.partkey GROUP BY d.brand",
+    # BETWEEN / LIKE / IS NULL mix
+    "SELECT p.pname FROM part p WHERE p.size BETWEEN 10 AND 12 "
+    "AND p.pname LIKE 'Part%' AND p.brand IS NOT NULL",
+    # quantified comparison
+    "SELECT p.partkey FROM part p WHERE p.size >= ALL "
+    "(SELECT p2.size FROM part p2 WHERE p2.brand = p.brand)",
+    # nested: view over view restricted through two levels
+    "SELECT n.nname, x.total FROM nation n, "
+    "(SELECT c.nationkey AS nk, SUM(v.rev) AS total FROM customer c, custRev v "
+    " WHERE v.custkey = c.custkey GROUP BY c.nationkey) AS x "
+    "WHERE x.nk = n.nationkey AND n.regionkey = 1",
+    # CASE expression + ordering
+    "SELECT o.orderkey, CASE WHEN o.totalprice > 150000 THEN 'big' "
+    "ELSE 'small' END AS bucket FROM orders o WHERE o.omonth = 1 "
+    "ORDER BY bucket, orderkey LIMIT 20",
+    # IN over a union
+    "SELECT c.cname FROM customer c WHERE c.custkey IN "
+    "(SELECT custkey FROM orders WHERE omonth = 2 "
+    " UNION SELECT custkey FROM orders WHERE omonth = 3)",
+]
+
+
+@pytest.mark.parametrize("index", range(len(DS_QUERIES)))
+def test_decision_support_query(ds_conn, index):
+    run_all_strategies(ds_conn, DS_QUERIES[index])
+
+
+EMP_QUERIES = [
+    # the paper's query D
+    "SELECT d.deptname, s.workdept, s.avgsalary FROM department d, avgMgrSal s "
+    "WHERE d.deptno = s.workdept AND d.deptname = 'Planning'",
+    # division-wide manager salaries
+    "SELECT d.division, AVG(s.avgsalary) FROM department d, avgMgrSal s "
+    "WHERE d.deptno = s.workdept GROUP BY d.division",
+    # employees of well-paid-manager departments
+    "SELECT e.empname FROM employee e WHERE e.workdept IN "
+    "(SELECT workdept FROM avgMgrSal WHERE avgsalary > 120000)",
+    # self-join through the view
+    "SELECT a.workdept, b.workdept FROM avgMgrSal a, avgMgrSal b "
+    "WHERE a.avgsalary = b.avgsalary AND a.workdept < b.workdept",
+    # triple-nested restriction
+    "SELECT d.deptname FROM department d WHERE d.deptno IN "
+    "(SELECT e.workdept FROM employee e WHERE e.salary > "
+    " (SELECT AVG(e2.salary) FROM employee e2 WHERE e2.workdept = e.workdept))",
+    # managers earning above the division's average manager salary
+    "SELECT m.empname FROM mgrSal m, department d WHERE m.workdept = d.deptno "
+    "AND m.salary > (SELECT AVG(s.avgsalary) FROM avgMgrSal s, department d2 "
+    "WHERE s.workdept = d2.deptno AND d2.division = d.division)",
+]
+
+
+@pytest.mark.parametrize("index", range(len(EMP_QUERIES)))
+def test_empdept_query(emp_conn, index):
+    run_all_strategies(emp_conn, EMP_QUERIES[index])

@@ -1,0 +1,109 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.sql.lexer import tokenize
+from repro.sql.tokens import TokenKind
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)[:-1]]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+def test_empty_input_yields_only_eof():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].kind == TokenKind.EOF
+
+
+def test_keywords_are_case_insensitive_and_uppercased():
+    assert values("select SELECT SeLeCt") == ["SELECT", "SELECT", "SELECT"]
+    assert kinds("select") == [TokenKind.KEYWORD]
+
+
+def test_identifiers_preserve_case():
+    tokens = tokenize("avgMgrSal")
+    assert tokens[0].kind == TokenKind.IDENT
+    assert tokens[0].value == "avgMgrSal"
+
+
+def test_identifier_with_digits_dollar_hash():
+    assert values("a1 b$2 c#3") == ["a1", "b$2", "c#3"]
+
+
+def test_integer_and_float_literals():
+    tokens = tokenize("42 3.25 .5 1e3 2.5E-2")
+    assert [t.value for t in tokens[:-1]] == ["42", "3.25", ".5", "1e3", "2.5E-2"]
+    assert all(t.kind == TokenKind.NUMBER for t in tokens[:-1])
+
+
+def test_malformed_exponent_rejected():
+    with pytest.raises(LexError):
+        tokenize("1e")
+
+
+def test_string_literal_with_escaped_quote():
+    tokens = tokenize("'it''s'")
+    assert tokens[0].kind == TokenKind.STRING
+    assert tokens[0].value == "it's"
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(LexError):
+        tokenize("'oops")
+
+
+def test_quoted_identifier():
+    tokens = tokenize('"Weird Name"')
+    assert tokens[0].kind == TokenKind.IDENT
+    assert tokens[0].value == "Weird Name"
+
+
+def test_multi_char_operators_greedy():
+    assert values("<> <= >= != ||") == ["<>", "<=", ">=", "!=", "||"]
+
+
+def test_single_char_symbols():
+    assert values("( ) + - * / % , . < > = ;") == list("()+-*/%,.<>=;")
+
+
+def test_line_comment_skipped():
+    assert values("a -- comment here\n b") == ["a", "b"]
+
+
+def test_block_comment_skipped():
+    assert values("a /* multi\nline */ b") == ["a", "b"]
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(LexError):
+        tokenize("a /* never ends")
+
+
+def test_line_and_column_tracking():
+    tokens = tokenize("a\n  b")
+    assert (tokens[0].line, tokens[0].column) == (1, 1)
+    assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+def test_unexpected_character_raises_with_position():
+    with pytest.raises(LexError) as info:
+        tokenize("a ? b")
+    assert info.value.line == 1
+    assert info.value.column == 3
+
+
+def test_number_adjacent_to_dot_field_access():
+    # "t.5" is not valid SQL but "x.y" must lex as IDENT SYMBOL IDENT.
+    assert kinds("x.y") == [TokenKind.IDENT, TokenKind.SYMBOL, TokenKind.IDENT]
+
+
+def test_keyword_boundary_not_greedy():
+    # 'selected' is an identifier, not SELECT + ed.
+    tokens = tokenize("selected")
+    assert tokens[0].kind == TokenKind.IDENT

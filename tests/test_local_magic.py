@@ -1,0 +1,118 @@
+"""The local magic rule: local predicates push into private copies of
+*shared* views (the phase-1 EMST variant of §3.3)."""
+
+from repro import Connection, Database
+from repro.sql import parse_statement
+from repro.qgm import build_query_graph, validate_graph
+from repro.rewrite import RewriteEngine, default_rules
+from repro.rewrite.local_magic import LocalMagicRule
+
+from tests.helpers import canonical, run_all_strategies
+
+
+def setup_db():
+    db = Database()
+    db.create_table(
+        "t",
+        ["a", "b"],
+        rows=[(i, i * 10) for i in range(20)],
+    )
+    db.catalog.add_view(
+        parse_statement("CREATE VIEW v (a, total) AS SELECT a, SUM(b) FROM t GROUP BY a")
+    )
+    return db
+
+
+SHARED_SQL = (
+    "SELECT x.total, y.total FROM v x, v y "
+    "WHERE x.a = 1 AND y.a = 2 AND x.total < y.total"
+)
+
+
+def test_local_predicate_splits_shared_view():
+    db = setup_db()
+    graph = build_query_graph(parse_statement(SHARED_SQL), db.catalog)
+    engine = RewriteEngine([LocalMagicRule()])
+    context = engine.run_phase(graph, 1)
+    validate_graph(graph)
+    # The first consumer's restriction gets a private deep copy; the view
+    # then has a single remaining consumer, which is plain pushdown's job.
+    assert context.firing_counts.get("local-magic") == 1
+    targets = [q.input_box for q in graph.top_box.foreach_quantifiers()]
+    assert targets[0] is not targets[1]
+
+
+def test_full_phase1_pushes_both_restrictions_below_grouping():
+    db = setup_db()
+    graph = build_query_graph(parse_statement(SHARED_SQL), db.catalog)
+    engine = RewriteEngine(default_rules())
+    engine.run_phase(graph, 1)
+    validate_graph(graph)
+    # No constant predicate survives at the top: both reached the copies.
+    from repro.qgm import expr as qe
+
+    for predicate in graph.top_box.predicates:
+        assert not (
+            isinstance(predicate, qe.QBinary)
+            and predicate.op == "="
+            and isinstance(predicate.right, qe.QLiteral)
+        )
+
+
+def test_identical_restrictions_share_one_copy():
+    db = setup_db()
+    sql = (
+        "SELECT x.total, y.total, z.total FROM v x, v y, v z "
+        "WHERE x.a = 3 AND y.a = 3 AND x.total = y.total AND z.total > 0"
+    )
+    graph = build_query_graph(parse_statement(sql), db.catalog)
+    engine = RewriteEngine([LocalMagicRule()])
+    context = engine.run_phase(graph, 1)
+    validate_graph(graph)
+    assert context.firing_counts.get("local-magic") == 2
+    quantifiers = {q.name: q for q in graph.top_box.foreach_quantifiers()}
+    assert quantifiers["x"].input_box is quantifiers["y"].input_box  # cache hit
+    assert quantifiers["z"].input_box is not quantifiers["x"].input_box
+
+
+def test_results_preserved_end_to_end():
+    db = setup_db()
+    rows = run_all_strategies(Connection(db), SHARED_SQL)
+    assert rows == canonical([(10, 20)])
+
+
+def test_single_use_children_left_to_plain_pushdown():
+    db = setup_db()
+    sql = "SELECT total FROM v WHERE a = 5"
+    graph = build_query_graph(parse_statement(sql), db.catalog)
+    engine = RewriteEngine([LocalMagicRule()])
+    context = engine.run_phase(graph, 1)
+    assert "local-magic" not in context.firing_counts
+
+
+def test_base_tables_untouched():
+    db = setup_db()
+    sql = "SELECT t1.b, t2.b FROM t t1, t t2 WHERE t1.a = 1 AND t2.a = 2"
+    graph = build_query_graph(parse_statement(sql), db.catalog)
+    engine = RewriteEngine([LocalMagicRule()])
+    context = engine.run_phase(graph, 1)
+    assert "local-magic" not in context.firing_counts
+
+
+def test_recursive_views_skipped():
+    db = Database()
+    db.create_table("edge", ["src", "dst"], rows=[(1, 2), (2, 3)])
+    sql = (
+        "WITH RECURSIVE r (n) AS ("
+        "SELECT dst FROM edge UNION SELECT e.dst FROM r x, edge e WHERE e.src = x.n) "
+        "SELECT a.n, b.n FROM r a, r b WHERE a.n = 2 AND b.n = 3"
+    )
+    graph = build_query_graph(parse_statement(sql), db.catalog)
+    engine = RewriteEngine([LocalMagicRule()])
+    context = engine.run_phase(graph, 1)
+    validate_graph(graph)
+    assert "local-magic" not in context.firing_counts
+    rows = run_all_strategies(
+        Connection(db), sql, strategies=("original", "emst")
+    )
+    assert rows == [(2, 3)]

@@ -1,0 +1,206 @@
+"""Unit tests for the magic building blocks: adornments, the AMQ/NMQ
+registry, predicate classification, and magic-box constructors."""
+
+import pytest
+
+from repro.errors import MagicError
+from repro.qgm import expr as qe
+from repro.qgm.model import (
+    Box,
+    BoxKind,
+    DistinctMode,
+    MagicRole,
+    OutputColumn,
+    Quantifier,
+    QuantifierType,
+    QueryGraph,
+)
+from repro.magic.adornment import Adornment, all_free, build_adornment, is_all_free
+from repro.magic.adorn import classify_quantifier, local_equality_parts, predicate_signature
+from repro.magic.properties import (
+    OperationProperties,
+    is_amq,
+    operation_properties,
+    register_operation,
+)
+from repro.magic.magic_boxes import build_contribution, extend_magic
+
+
+# -- adornments -----------------------------------------------------------------
+
+
+def test_adornment_positions():
+    adornment = Adornment("bcf")
+    assert adornment.bound_positions == [0]
+    assert adornment.conditioned_positions == [1]
+    assert adornment.has_conditions
+    assert not adornment.is_all_free
+
+
+def test_all_free_constructor():
+    assert all_free(3) == "fff"
+    assert is_all_free(all_free(5))
+    assert is_all_free(None)
+    assert not is_all_free(Adornment("bf"))
+
+
+def test_invalid_letter_rejected():
+    with pytest.raises(MagicError):
+        Adornment("bq")
+
+
+def test_build_adornment_bound_wins_over_conditioned():
+    box = Box(
+        kind=BoxKind.SELECT,
+        name="B",
+        columns=[OutputColumn(name=n) for n in ("x", "y", "z")],
+    )
+    adornment = build_adornment(box, {"x"}, {"x", "z"})
+    assert adornment == "bfc"
+
+
+# -- registry --------------------------------------------------------------------
+
+
+def test_builtin_properties():
+    assert operation_properties(BoxKind.SELECT).amq
+    for kind in (BoxKind.GROUPBY, BoxKind.UNION, BoxKind.EXCEPT, BoxKind.OUTERJOIN):
+        assert not operation_properties(kind).amq
+    assert not operation_properties(BoxKind.BASE).processed_by_emst
+
+
+def test_register_custom_operation():
+    register_operation(OperationProperties(kind="TEST_OP", amq=True))
+    box = Box(kind="TEST_OP", name="X")
+    assert is_amq(box)
+
+
+def test_pass_down_handlers_installed():
+    assert operation_properties(BoxKind.GROUPBY).pass_down is not None
+    assert operation_properties(BoxKind.UNION).pass_down is not None
+    assert operation_properties(BoxKind.OUTERJOIN).pass_down is not None
+
+
+# -- classification -----------------------------------------------------------------
+
+
+def setup_box():
+    graph = QueryGraph()
+    base_a = graph.new_box(
+        BoxKind.BASE, "A", columns=[OutputColumn(name="x"), OutputColumn(name="y")]
+    )
+    base_b = graph.new_box(
+        BoxKind.BASE, "B", columns=[OutputColumn(name="x"), OutputColumn(name="z")]
+    )
+    box = graph.new_box(BoxKind.SELECT, "Q")
+    qa = Quantifier(name="a", qtype=QuantifierType.FOREACH, input_box=base_a)
+    qb = Quantifier(name="b", qtype=QuantifierType.FOREACH, input_box=base_b)
+    box.add_quantifier(qa)
+    box.add_quantifier(qb)
+    box.columns = [OutputColumn(name="x", expr=qa.ref("x"))]
+    return graph, box, qa, qb
+
+
+def test_classify_dependent_equality():
+    graph, box, qa, qb = setup_box()
+    box.predicates = [qe.QBinary(op="=", left=qb.ref("x"), right=qa.ref("x"))]
+    info = classify_quantifier(box, qb, {qa})
+    assert info.bound == [("x", box.predicates[0].right)]
+    assert not info.conditions
+
+
+def test_classify_dependent_condition():
+    graph, box, qa, qb = setup_box()
+    box.predicates = [qe.QBinary(op=">", left=qb.ref("z"), right=qa.ref("y"))]
+    info = classify_quantifier(box, qb, {qa})
+    assert not info.bound
+    assert info.conditions == box.predicates
+    assert info.condition_columns == ["z"]
+
+
+def test_classify_local_predicates():
+    graph, box, qa, qb = setup_box()
+    eq = qe.QBinary(op="=", left=qb.ref("x"), right=qe.QLiteral(7))
+    cond = qe.QBinary(op="<", left=qb.ref("z"), right=qe.QLiteral(5))
+    box.predicates = [eq, cond]
+    info = classify_quantifier(box, qb, set())
+    assert info.local_bound_columns == ["x"]
+    assert info.local_condition_columns == ["z"]
+    assert set(map(id, info.local_predicates)) == {id(eq), id(cond)}
+
+
+def test_classify_skips_predicates_on_later_quantifiers():
+    graph, box, qa, qb = setup_box()
+    box.predicates = [qe.QBinary(op="=", left=qa.ref("x"), right=qb.ref("x"))]
+    # Classifying qa with NOTHING eligible: the predicate depends on qb.
+    info = classify_quantifier(box, qa, set())
+    assert info.is_trivial
+
+
+def test_local_equality_parts():
+    graph, box, qa, qb = setup_box()
+    pred = qe.QBinary(op="=", left=qe.QLiteral(3), right=qb.ref("x"))
+    column, constant = local_equality_parts(pred, qb)
+    assert column == "x"
+    assert constant.value == 3
+    assert local_equality_parts(
+        qe.QBinary(op="<", left=qb.ref("x"), right=qe.QLiteral(3)), qb
+    ) is None
+
+
+def test_predicate_signature_normalises_quantifier():
+    graph, box, qa, qb = setup_box()
+    pred = qe.QBinary(op="=", left=qb.ref("x"), right=qe.QLiteral("v"))
+    signature = predicate_signature(pred, qb)
+    assert "$q.x" in signature
+    assert "'v'" in signature
+
+
+# -- magic box constructors -------------------------------------------------------------
+
+
+def test_build_contribution_clones_eligible():
+    graph, box, qa, qb = setup_box()
+    box.predicates = [qe.QBinary(op="=", left=qa.ref("x"), right=qe.QLiteral(1))]
+    contribution = build_contribution(
+        graph, box, [qa], [("mc_x", qa.ref("x"))]
+    )
+    assert contribution.magic_role == MagicRole.MAGIC
+    assert contribution.distinct == DistinctMode.ENFORCE
+    assert contribution.column_names == ["mc_x"]
+    assert len(contribution.quantifiers) == 1
+    # The clone carries the predicate local to the eligible prefix.
+    assert len(contribution.predicates) == 1
+    # And the cloned expressions reference the clone, not the original.
+    for predicate in contribution.predicates:
+        for ref in qe.column_refs(predicate):
+            assert ref.quantifier in contribution.quantifiers
+
+
+def test_build_contribution_with_no_eligible_is_constant_seed():
+    graph, box, qa, qb = setup_box()
+    contribution = build_contribution(graph, box, [], [("mc_x", qe.QLiteral(9))])
+    assert contribution.quantifiers == []
+    assert contribution.columns[0].expr.value == 9
+
+
+def test_extend_magic_converts_to_union_in_place():
+    graph, box, qa, qb = setup_box()
+    magic = build_contribution(graph, box, [qa], [("mc_x", qa.ref("x"))])
+    other = build_contribution(graph, box, [qa], [("mc_x", qa.ref("x"))])
+    identity = id(magic)
+    extend_magic(graph, magic, other)
+    assert id(magic) == identity  # same object
+    assert magic.kind == BoxKind.UNION
+    assert len(magic.quantifiers) == 2
+    assert magic.distinct == DistinctMode.ENFORCE
+    third = build_contribution(graph, box, [qa], [("mc_x", qa.ref("x"))])
+    extend_magic(graph, magic, third)
+    assert len(magic.quantifiers) == 3
+
+
+def test_extend_magic_self_is_noop():
+    graph, box, qa, qb = setup_box()
+    magic = build_contribution(graph, box, [qa], [("mc_x", qa.ref("x"))])
+    extend_magic(graph, magic, magic)
+    assert magic.kind == BoxKind.SELECT

@@ -1,0 +1,167 @@
+"""Odds-and-ends unit coverage: sort helpers, engine fallbacks, rewrite
+budget, constant evaluation, plan descriptions."""
+
+import pytest
+
+from repro import Connection, Database
+from repro.errors import NotSupportedError, RewriteError
+
+
+# -- ORDER BY helpers ---------------------------------------------------------
+
+
+def test_order_by_mixed_directions():
+    db = Database()
+    db.create_table(
+        "t", ["a", "b"], rows=[(1, "x"), (1, "a"), (2, "m"), (None, "z")]
+    )
+    rows = Connection(db).execute("SELECT a, b FROM t ORDER BY a DESC, b").rows
+    assert rows == [(2, "m"), (1, "a"), (1, "x"), (None, "z")]
+
+
+def test_order_by_desc_nulls_still_last():
+    db = Database()
+    db.create_table("t", ["a"], rows=[(None,), (3,), (1,)])
+    rows = Connection(db).execute("SELECT a FROM t ORDER BY a DESC").rows
+    assert rows == [(3,), (1,), (None,)]
+
+
+def test_limit_without_order():
+    db = Database()
+    db.create_table("t", ["a"], rows=[(i,) for i in range(10)])
+    rows = Connection(db).execute("SELECT a FROM t LIMIT 4").rows
+    assert len(rows) == 4
+
+
+# -- evaluator fallbacks ----------------------------------------------------------
+
+
+def test_join_order_with_unknown_names_falls_back():
+    from repro.sql import parse_statement
+    from repro.qgm import build_query_graph
+    from repro.engine import Evaluator
+
+    db = Database()
+    db.create_table("t", ["a"], rows=[(1,)])
+    db.create_table("s", ["a"], rows=[(1,)])
+    graph = build_query_graph(
+        parse_statement("SELECT t.a FROM t, s WHERE s.a = t.a"), db.catalog
+    )
+    bogus_orders = {graph.top_box.box_id: ["nope", "also_nope"]}
+    rows = Evaluator(graph, db, join_orders=bogus_orders).run().rows
+    assert rows == [(1,)]
+
+
+def test_memoize_correlated_toggle():
+    from repro.sql import parse_statement
+    from repro.qgm import build_query_graph
+    from repro.engine import Evaluator
+
+    db = Database()
+    db.create_table("t", ["g", "v"], rows=[(1, 5), (1, 6), (2, 7)])
+    sql = (
+        "SELECT g FROM t outer1 WHERE v > "
+        "(SELECT AVG(v) FROM t i WHERE i.g = outer1.g)"
+    )
+    graph = build_query_graph(parse_statement(sql), db.catalog)
+    memo = Evaluator(graph, db, memoize_correlated=True)
+    memo_rows = memo.run().rows
+    graph2 = build_query_graph(parse_statement(sql), db.catalog)
+    plain = Evaluator(graph2, db, memoize_correlated=False)
+    plain_rows = plain.run().rows
+    assert sorted(memo_rows) == sorted(plain_rows)
+    assert memo.stats.correlated_evaluations <= plain.stats.correlated_evaluations
+
+
+# -- rewrite engine budget -----------------------------------------------------------
+
+
+def test_rewrite_budget_guards_against_livelock():
+    from repro.rewrite import RewriteEngine
+    from repro.rewrite.rule import RewriteRule
+    from repro.qgm import build_query_graph
+    from repro.sql import parse_statement
+
+    class Livelock(RewriteRule):
+        name = "livelock"
+        phases = frozenset({1})
+
+        def apply(self, box, context):
+            return True  # claims change forever
+
+    db = Database()
+    db.create_table("t", ["a"], rows=[])
+    graph = build_query_graph(parse_statement("SELECT a FROM t"), db.catalog)
+    with pytest.raises(RewriteError):
+        RewriteEngine([Livelock()]).run_phase(graph, 1)
+
+
+# -- constant evaluation -----------------------------------------------------------------
+
+
+def test_constant_value_arithmetic():
+    from repro.api import _constant_value
+    from repro.sql import parse_expression
+
+    assert _constant_value(parse_expression("2 + 3 * 4")) == 14
+    assert _constant_value(parse_expression("-(2)")) == -2
+    assert _constant_value(parse_expression("'a' || 'b'")) == "ab"
+    with pytest.raises(NotSupportedError):
+        _constant_value(parse_expression("some_column"))
+
+
+# -- plan description / stats ----------------------------------------------------------------
+
+
+def test_box_plan_total_cost_multiplicity():
+    from repro.optimizer.plan import BoxPlan
+
+    plan = BoxPlan(box_name="x", kind="SELECT", cost=10.0, multiplicity=4.0)
+    assert plan.total_cost == 40.0
+
+
+def test_evaluator_stats_dict_keys():
+    from repro.engine.evaluator import EvaluatorStats
+
+    stats = EvaluatorStats()
+    assert set(stats.as_dict()) == {
+        "box_evaluations",
+        "rows_produced",
+        "join_probes",
+        "correlated_evaluations",
+    }
+
+
+def test_result_iteration_protocol():
+    db = Database()
+    db.create_table("t", ["a"], rows=[(1,), (2,)])
+    result = Connection(db).execute("SELECT a FROM t ORDER BY a")
+    assert [row for row in result] == [(1,), (2,)]
+    assert len(result) == 2
+
+
+# -- graph helpers --------------------------------------------------------------------------
+
+
+def test_fresh_name_uniqueness():
+    from repro.qgm.model import QueryGraph
+
+    graph = QueryGraph()
+    names = {graph.fresh_name("x") for _ in range(5)}
+    assert len(names) == 5
+
+
+def test_use_count_and_find_box():
+    from repro.sql import parse_statement
+    from repro.qgm import build_query_graph
+
+    db = Database()
+    db.create_table("t", ["a"], rows=[])
+    graph = build_query_graph(
+        parse_statement("SELECT t1.a FROM t t1, t t2 WHERE t1.a = t2.a"),
+        db.catalog,
+    )
+    base = graph.find_box("T")
+    assert base is not None
+    assert graph.use_count(base) == 2
+    assert graph.find_box("NOPE") is None

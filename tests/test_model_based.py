@@ -1,0 +1,136 @@
+"""Model-based testing: random DML sequences against a plain-Python
+reference model, and random join queries against itertools references."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Connection, Database
+
+from tests.helpers import canonical
+
+
+# ---------------------------------------------------------------------------
+# DML model: the table is a list of rows; INSERT appends, DELETE filters,
+# UPDATE maps. The engine must agree after every step.
+# ---------------------------------------------------------------------------
+
+_VALUES = st.integers(0, 9)
+
+_operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), _VALUES, _VALUES),
+        st.tuples(st.just("delete_eq"), _VALUES, _VALUES),
+        st.tuples(st.just("delete_lt"), _VALUES, _VALUES),
+        st.tuples(st.just("update_add"), _VALUES, _VALUES),
+    ),
+    max_size=14,
+)
+
+
+@given(_operations)
+@settings(max_examples=40, deadline=None)
+def test_dml_sequence_matches_reference_model(operations):
+    conn = Connection(Database())
+    conn.run_script("CREATE TABLE t (a, b)")
+    model = []
+    for op, x, y in operations:
+        if op == "insert":
+            conn.run_script("INSERT INTO t VALUES (%d, %d)" % (x, y))
+            model.append((x, y))
+        elif op == "delete_eq":
+            conn.run_script("DELETE FROM t WHERE a = %d" % x)
+            model = [row for row in model if row[0] != x]
+        elif op == "delete_lt":
+            conn.run_script("DELETE FROM t WHERE b < %d" % x)
+            model = [row for row in model if not (row[1] < x)]
+        elif op == "update_add":
+            conn.run_script("UPDATE t SET b = b + %d WHERE a = %d" % (y, x))
+            model = [
+                (a, b + y) if a == x else (a, b) for (a, b) in model
+            ]
+        rows = conn.execute("SELECT a, b FROM t").rows
+        assert canonical(rows) == canonical(model)
+
+
+# ---------------------------------------------------------------------------
+# Join semantics against itertools references
+# ---------------------------------------------------------------------------
+
+_rows_ab = st.lists(
+    st.tuples(st.one_of(_VALUES, st.none()), _VALUES), max_size=10
+)
+
+
+@given(_rows_ab, _rows_ab)
+@settings(max_examples=40, deadline=None)
+def test_inner_join_matches_reference(left_rows, right_rows):
+    db = Database()
+    db.create_table("l", ["a", "b"], rows=left_rows)
+    db.create_table("r", ["a", "b"], rows=right_rows)
+    rows = Connection(db).execute(
+        "SELECT l.b, r.b FROM l JOIN r ON r.a = l.a"
+    ).rows
+    expected = [
+        (lb, rb)
+        for (la, lb) in left_rows
+        for (ra, rb) in right_rows
+        if la is not None and la == ra
+    ]
+    assert canonical(rows) == canonical(expected)
+
+
+@given(_rows_ab, _rows_ab)
+@settings(max_examples=40, deadline=None)
+def test_left_join_matches_reference(left_rows, right_rows):
+    db = Database()
+    db.create_table("l", ["a", "b"], rows=left_rows)
+    db.create_table("r", ["a", "b"], rows=right_rows)
+    rows = Connection(db).execute(
+        "SELECT l.b, r.b FROM l LEFT JOIN r ON r.a = l.a"
+    ).rows
+    expected = []
+    for la, lb in left_rows:
+        matches = [
+            (lb, rb)
+            for (ra, rb) in right_rows
+            if la is not None and la == ra
+        ]
+        expected.extend(matches or [(lb, None)])
+    assert canonical(rows) == canonical(expected)
+
+
+@given(_rows_ab)
+@settings(max_examples=30, deadline=None)
+def test_group_by_matches_reference(rows_in):
+    db = Database()
+    db.create_table("t", ["a", "b"], rows=rows_in)
+    rows = Connection(db).execute(
+        "SELECT a, COUNT(*), SUM(b) FROM t GROUP BY a"
+    ).rows
+    expected = {}
+    for a, b in rows_in:
+        count, total = expected.get(a, (0, 0))
+        expected[a] = (count + 1, total + b)
+    reference = [(a, c, s) for a, (c, s) in expected.items()]
+    assert canonical(rows) == canonical(reference)
+
+
+@given(_rows_ab, st.integers(0, 9))
+@settings(max_examples=30, deadline=None)
+def test_emst_join_agrees_with_reference(rows_in, key):
+    db = Database()
+    db.create_table("t", ["a", "b"], rows=rows_in)
+    from repro.sql import parse_statement
+
+    db.catalog.add_view(
+        parse_statement("CREATE VIEW v (a, n) AS SELECT a, COUNT(*) FROM t GROUP BY a")
+    )
+    sql = "SELECT v.n FROM v WHERE v.a = %d" % key
+    conn = Connection(db)
+    for strategy in ("original", "emst"):
+        rows = conn.explain_execute(sql, strategy=strategy).rows
+        expected_count = sum(1 for (a, _) in rows_in if a == key)
+        if expected_count:
+            assert rows == [(expected_count,)]
+        else:
+            assert rows == []

@@ -1,0 +1,212 @@
+"""Plan optimizer tests: cardinality estimation, selectivities, DP join
+ordering, whole-graph planning, and the §3.2 heuristic properties."""
+
+import pytest
+
+from repro import Database
+from repro.sql import parse_statement
+from repro.qgm import build_query_graph
+from repro.optimizer import CardinalityEstimator, optimize_graph, optimize_select_box
+from repro.optimizer.cardinality import RANGE_SELECTIVITY
+from repro.optimizer.joinorder import DP_LIMIT
+
+
+@pytest.fixture
+def sized_db():
+    """A database with deliberately skewed sizes for planning tests."""
+    db = Database()
+    db.create_table(
+        "big",
+        ["id", "fk", "val"],
+        primary_key=["id"],
+        rows=[(i, i % 20, i * 2) for i in range(1000)],
+    )
+    db.create_table(
+        "small",
+        ["id", "name"],
+        primary_key=["id"],
+        rows=[(i, "n%d" % i) for i in range(20)],
+    )
+    db.create_table(
+        "tiny",
+        ["id", "tag"],
+        primary_key=["id"],
+        rows=[(i, "t%d" % i) for i in range(3)],
+    )
+    return db
+
+
+def build(sql, db):
+    return build_query_graph(parse_statement(sql), db.catalog)
+
+
+def test_base_cardinality_from_statistics(sized_db):
+    graph = build("SELECT id FROM big", sized_db)
+    estimator = CardinalityEstimator(sized_db.catalog)
+    base = graph.top_box.quantifiers[0].input_box
+    assert estimator.rows(base) == 1000.0
+
+
+def test_equality_constant_selectivity(sized_db):
+    graph = build("SELECT id FROM big WHERE id = 5", sized_db)
+    estimator = CardinalityEstimator(sized_db.catalog)
+    assert estimator.rows(graph.top_box) == pytest.approx(1.0, abs=0.5)
+
+
+def test_range_selectivity_interpolates_from_min_max(sized_db):
+    # big.val is uniform on [0, 1998]: "val > 100" keeps ~95% of rows.
+    graph = build("SELECT id FROM big WHERE val > 100", sized_db)
+    estimator = CardinalityEstimator(sized_db.catalog)
+    assert estimator.rows(graph.top_box) == pytest.approx(950, rel=0.05)
+    graph = build("SELECT id FROM big WHERE val < 100", sized_db)
+    estimator = CardinalityEstimator(sized_db.catalog)
+    assert estimator.rows(graph.top_box) == pytest.approx(50, rel=0.2)
+
+
+def test_range_selectivity_default_without_range(sized_db):
+    # A range predicate over a string column falls back to the System-R 1/3.
+    graph = build("SELECT id FROM small WHERE name > 'n5'", sized_db)
+    estimator = CardinalityEstimator(sized_db.catalog)
+    assert estimator.rows(graph.top_box) == pytest.approx(
+        20 * RANGE_SELECTIVITY, rel=0.01
+    )
+
+
+def test_equijoin_selectivity(sized_db):
+    graph = build(
+        "SELECT b.id FROM big b, small s WHERE b.fk = s.id", sized_db
+    )
+    estimator = CardinalityEstimator(sized_db.catalog)
+    # 1000 * 20 / max(20, 20) = 1000
+    assert estimator.rows(graph.top_box) == pytest.approx(1000.0, rel=0.05)
+
+
+def test_groupby_cardinality_capped_by_distincts(sized_db):
+    graph = build(
+        "SELECT fk, COUNT(*) FROM big GROUP BY fk", sized_db
+    )
+    estimator = CardinalityEstimator(sized_db.catalog)
+    groupby = graph.top_box.quantifiers[0].input_box
+    assert estimator.rows(groupby) == pytest.approx(20.0, rel=0.05)
+
+
+def test_union_cardinality_sums(sized_db):
+    graph = build(
+        "SELECT id FROM big UNION ALL SELECT id FROM small", sized_db
+    )
+    estimator = CardinalityEstimator(sized_db.catalog)
+    assert estimator.rows(graph.top_box) == pytest.approx(1020.0, rel=0.01)
+
+
+def test_column_estimate_caps_distinct_by_rows(sized_db):
+    graph = build("SELECT id FROM big WHERE fk = 3", sized_db)
+    estimator = CardinalityEstimator(sized_db.catalog)
+    estimate = estimator.column(graph.top_box, "id")
+    assert estimate.distinct <= estimator.rows(graph.top_box) + 1e-9
+
+
+def test_column_cache_not_corrupted_by_capping(sized_db):
+    """Regression: capping a derived column's distinct count must never
+    mutate the underlying base-table statistics (cache aliasing)."""
+    graph = build(
+        "SELECT b.fk AS f FROM big b, tiny t WHERE t.id = b.id", sized_db
+    )
+    estimator = CardinalityEstimator(sized_db.catalog)
+    estimator.rows(graph.top_box)
+    estimator.column(graph.top_box, "f")
+    base = graph.top_box.quantifier("b").input_box
+    assert estimator.column(base, "fk").distinct == 20.0
+
+
+def test_dp_order_starts_with_most_selective(sized_db):
+    graph = build(
+        "SELECT b.id FROM big b, small s, tiny t "
+        "WHERE b.fk = s.id AND s.id = t.id",
+        sized_db,
+    )
+    estimator = CardinalityEstimator(sized_db.catalog)
+    order, cost, rows = optimize_select_box(graph.top_box, estimator)
+    assert order[0] == "t"  # tiny first
+    assert order.index("s") < order.index("b")
+
+
+def test_dp_avoids_cross_products_when_possible(sized_db):
+    graph = build(
+        "SELECT b.id FROM big b, tiny t, small s "
+        "WHERE b.fk = s.id AND b.id = t.id",
+        sized_db,
+    )
+    estimator = CardinalityEstimator(sized_db.catalog)
+    order, cost, _ = optimize_select_box(graph.top_box, estimator)
+    # The chosen order must be connected: t then b (joined) then s.
+    assert set(order) == {"b", "s", "t"}
+    assert cost < 1000 * 20  # far below any cross-product plan
+
+
+def test_greedy_used_beyond_dp_limit(sized_db):
+    names = ", ".join("tiny t%d" % i for i in range(DP_LIMIT + 2))
+    predicates = " AND ".join(
+        "t%d.id = t%d.id" % (i, i + 1) for i in range(DP_LIMIT + 1)
+    )
+    graph = build(
+        "SELECT t0.id FROM %s WHERE %s" % (names, predicates), sized_db
+    )
+    estimator = CardinalityEstimator(sized_db.catalog)
+    order, _, _ = optimize_select_box(graph.top_box, estimator)
+    assert len(order) == DP_LIMIT + 2
+
+
+def test_magic_quantifiers_pinned_first(sized_db):
+    graph = build(
+        "SELECT b.id FROM big b, small s WHERE b.fk = s.id", sized_db
+    )
+    top = graph.top_box
+    top.quantifiers[0].is_magic = True  # pretend 'b' is the magic table
+    estimator = CardinalityEstimator(sized_db.catalog)
+    order, _, _ = optimize_select_box(top, estimator)
+    assert order[0] == "b"
+
+
+def test_optimize_graph_covers_all_non_base_boxes(sized_db):
+    sized_db.catalog.add_view(
+        parse_statement(
+            "CREATE VIEW v AS SELECT fk, COUNT(*) AS n FROM big GROUP BY fk"
+        )
+    )
+    graph = build("SELECT s.name, v.n FROM small s, v WHERE v.fk = s.id", sized_db)
+    plan = optimize_graph(graph, sized_db.catalog)
+    from repro.qgm.model import BoxKind
+
+    planned = set(plan.plans)
+    for box in graph.boxes():
+        if box.kind != BoxKind.BASE:
+            assert box.box_id in planned
+    assert plan.total_cost > 0
+
+
+def test_correlated_box_multiplicity(sized_db):
+    graph = build(
+        "SELECT b.id FROM big b WHERE EXISTS "
+        "(SELECT s.id FROM small s WHERE s.id = b.fk)",
+        sized_db,
+    )
+    plan = optimize_graph(graph, sized_db.catalog)
+    multiplicities = [p.multiplicity for p in plan.plans.values()]
+    assert any(m > 1 for m in multiplicities)
+
+
+def test_plan_describe_is_readable(sized_db):
+    graph = build("SELECT id FROM big WHERE id = 1", sized_db)
+    plan = optimize_graph(graph, sized_db.catalog)
+    text = plan.describe()
+    assert "total cost" in text
+    assert "order=" in text
+
+
+def test_join_orders_oracle_names(sized_db):
+    graph = build(
+        "SELECT b.id FROM big b, small s WHERE b.fk = s.id", sized_db
+    )
+    plan = optimize_graph(graph, sized_db.catalog)
+    order = plan.join_orders[graph.top_box.box_id]
+    assert set(order) == {"b", "s"}

@@ -1,0 +1,246 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql import ast, parse_expression, parse_script, parse_statement
+
+
+def q(text):
+    statement = parse_statement(text)
+    assert isinstance(statement, ast.Query)
+    return statement
+
+
+def test_minimal_select():
+    query = q("SELECT a FROM t")
+    core = query.body
+    assert isinstance(core, ast.SelectCore)
+    assert len(core.items) == 1
+    assert isinstance(core.items[0].expr, ast.ColumnRef)
+    assert core.from_tables[0].name == "t"
+
+
+def test_select_distinct_and_aliases():
+    core = q("SELECT DISTINCT a AS x, b y FROM t u").body
+    assert core.distinct
+    assert core.items[0].alias == "x"
+    assert core.items[1].alias == "y"
+    assert core.from_tables[0].alias == "u"
+
+
+def test_star_and_qualified_star():
+    core = q("SELECT *, t.* FROM t").body
+    assert isinstance(core.items[0].expr, ast.Star)
+    assert core.items[1].expr.table == "t"
+
+
+def test_where_precedence_or_and():
+    expr = parse_expression("a = 1 OR b = 2 AND c = 3")
+    assert isinstance(expr, ast.BinaryOp) and expr.op == "OR"
+    assert isinstance(expr.right, ast.BinaryOp) and expr.right.op == "AND"
+
+
+def test_not_binds_tighter_than_and():
+    expr = parse_expression("NOT a = 1 AND b = 2")
+    assert expr.op == "AND"
+    assert isinstance(expr.left, ast.UnaryOp) and expr.left.op == "NOT"
+
+
+def test_arithmetic_precedence():
+    expr = parse_expression("1 + 2 * 3")
+    assert expr.op == "+"
+    assert expr.right.op == "*"
+
+
+def test_parenthesized_expression():
+    expr = parse_expression("(1 + 2) * 3")
+    assert expr.op == "*"
+    assert expr.left.op == "+"
+
+
+def test_comparison_operators_normalised():
+    expr = parse_expression("a != b")
+    assert expr.op == "<>"
+
+
+def test_between_and_not_between():
+    expr = parse_expression("a BETWEEN 1 AND 5")
+    assert isinstance(expr, ast.Between) and not expr.negated
+    expr = parse_expression("a NOT BETWEEN 1 AND 5")
+    assert expr.negated
+
+
+def test_in_list_and_in_subquery():
+    expr = parse_expression("a IN (1, 2, 3)")
+    assert isinstance(expr, ast.InList)
+    assert len(expr.items) == 3
+    core = q("SELECT a FROM t WHERE a IN (SELECT b FROM s)").body
+    assert isinstance(core.where, ast.InSubquery)
+
+
+def test_not_in_subquery_negated():
+    core = q("SELECT a FROM t WHERE a NOT IN (SELECT b FROM s)").body
+    assert core.where.negated
+
+
+def test_exists_and_not_exists():
+    core = q("SELECT a FROM t WHERE EXISTS (SELECT b FROM s)").body
+    assert isinstance(core.where, ast.Exists) and not core.where.negated
+    core = q("SELECT a FROM t WHERE NOT EXISTS (SELECT b FROM s)").body
+    assert core.where.negated
+
+
+def test_quantified_comparison_any_all_some():
+    expr = q("SELECT a FROM t WHERE a > ANY (SELECT b FROM s)").body.where
+    assert isinstance(expr, ast.QuantifiedComparison)
+    assert expr.quantifier == "ANY"
+    expr = q("SELECT a FROM t WHERE a > SOME (SELECT b FROM s)").body.where
+    assert expr.quantifier == "ANY"
+    expr = q("SELECT a FROM t WHERE a <= ALL (SELECT b FROM s)").body.where
+    assert expr.quantifier == "ALL"
+
+
+def test_scalar_subquery_in_comparison():
+    expr = q("SELECT a FROM t WHERE a > (SELECT AVG(b) FROM s)").body.where
+    assert isinstance(expr.right, ast.ScalarSubquery)
+
+
+def test_is_null_and_is_not_null():
+    assert not parse_expression("a IS NULL").negated
+    assert parse_expression("a IS NOT NULL").negated
+
+
+def test_like_and_not_like():
+    assert not parse_expression("a LIKE 'x%'").negated
+    assert parse_expression("a NOT LIKE 'x%'").negated
+
+
+def test_case_expression():
+    expr = parse_expression("CASE WHEN a = 1 THEN 'one' ELSE 'many' END")
+    assert isinstance(expr, ast.CaseWhen)
+    assert len(expr.branches) == 1
+    assert expr.default.value == "many"
+
+
+def test_function_calls_and_count_star():
+    expr = parse_expression("COUNT(*)")
+    assert isinstance(expr, ast.FuncCall)
+    assert isinstance(expr.args[0], ast.Star)
+    expr = parse_expression("COUNT(DISTINCT a)")
+    assert expr.distinct
+
+
+def test_group_by_and_having():
+    core = q(
+        "SELECT a, SUM(b) FROM t GROUP BY a HAVING SUM(b) > 10"
+    ).body
+    assert len(core.group_by) == 1
+    assert isinstance(core.having, ast.BinaryOp)
+
+
+def test_order_by_and_limit():
+    query = q("SELECT a FROM t ORDER BY a DESC, 2 LIMIT 5")
+    assert len(query.order_by) == 2
+    assert not query.order_by[0].ascending
+    assert query.limit == 5
+
+
+def test_union_precedence_intersect_binds_tighter():
+    query = q("SELECT a FROM t UNION SELECT a FROM s INTERSECT SELECT a FROM u")
+    assert query.body.op == "UNION"
+    assert query.body.right.op == "INTERSECT"
+
+
+def test_union_all_flag():
+    query = q("SELECT a FROM t UNION ALL SELECT a FROM s")
+    assert query.body.all
+
+
+def test_except():
+    query = q("SELECT a FROM t EXCEPT SELECT a FROM s")
+    assert query.body.op == "EXCEPT"
+    assert not query.body.all
+
+
+def test_derived_table():
+    core = q("SELECT x.a FROM (SELECT a FROM t) AS x").body
+    ref = core.from_tables[0]
+    assert isinstance(ref, ast.SubqueryRef)
+    assert ref.alias == "x"
+
+
+def test_create_view_with_columns():
+    statement = parse_statement(
+        "CREATE VIEW v (x, y) AS SELECT a, b FROM t"
+    )
+    assert isinstance(statement, ast.CreateView)
+    assert statement.columns == ["x", "y"]
+    assert not statement.recursive
+
+
+def test_create_recursive_view():
+    statement = parse_statement(
+        "CREATE RECURSIVE VIEW anc (x, y) AS "
+        "SELECT p, c FROM par UNION ALL SELECT a.x, p.c FROM anc a, par p WHERE a.y = p.p"
+    )
+    assert statement.recursive
+
+
+def test_with_clause():
+    query = q("WITH v AS (SELECT a FROM t) SELECT a FROM v")
+    assert len(query.ctes) == 1
+    assert query.ctes[0].name == "v"
+    assert not query.recursive_ctes
+
+
+def test_with_recursive_clause():
+    query = q(
+        "WITH RECURSIVE r (n) AS (SELECT a FROM t UNION ALL SELECT n FROM r) "
+        "SELECT n FROM r"
+    )
+    assert query.recursive_ctes
+
+
+def test_script_multiple_statements():
+    script = parse_script(
+        "CREATE VIEW v AS SELECT a FROM t; SELECT a FROM v;"
+    )
+    assert len(script.views) == 1
+    assert len(script.queries) == 1
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(ParseError):
+        parse_statement("SELECT a FROM t extra garbage ( ")
+
+
+def test_missing_from_rejected():
+    with pytest.raises(ParseError):
+        parse_statement("SELECT a WHERE b = 1")
+
+
+def test_empty_case_rejected():
+    with pytest.raises(ParseError):
+        parse_expression("CASE END")
+
+
+def test_literal_types():
+    assert parse_expression("42").value == 42
+    assert parse_expression("4.5").value == 4.5
+    assert parse_expression("NULL").value is None
+    assert parse_expression("TRUE").value is True
+    assert parse_expression("'hi'").value == "hi"
+
+
+def test_unary_minus_and_plus():
+    expr = parse_expression("-a")
+    assert isinstance(expr, ast.UnaryOp) and expr.op == "-"
+    expr = parse_expression("+a")
+    assert isinstance(expr, ast.ColumnRef)
+
+
+def test_double_not_cancels():
+    expr = parse_expression("NOT NOT a = 1")
+    assert isinstance(expr, ast.BinaryOp)
+    assert expr.op == "="

@@ -1,0 +1,88 @@
+"""SQL printer tests, including parse → print → parse round-trips."""
+
+import pytest
+
+from repro.sql import parse_expression, parse_statement, to_sql
+from repro.sql.printer import expr_to_sql
+
+ROUND_TRIP_QUERIES = [
+    "SELECT a FROM t",
+    "SELECT DISTINCT a AS x, b + 1 AS y FROM t u WHERE u.a > 3",
+    "SELECT a, SUM(b) AS total FROM t GROUP BY a HAVING SUM(b) > 10",
+    "SELECT a FROM t WHERE a IN (1, 2, 3) AND b NOT LIKE 'x%'",
+    "SELECT a FROM t WHERE a IN (SELECT b FROM s WHERE s.c = t.c)",
+    "SELECT a FROM t WHERE EXISTS (SELECT b FROM s)",
+    "SELECT a FROM t WHERE NOT EXISTS (SELECT b FROM s)",
+    "SELECT a FROM t WHERE a > ANY (SELECT b FROM s)",
+    "SELECT a FROM t WHERE a BETWEEN 1 AND 10 OR a IS NULL",
+    "SELECT a FROM t UNION ALL SELECT a FROM s",
+    "SELECT a FROM t EXCEPT SELECT a FROM s",
+    "SELECT a FROM t INTERSECT ALL SELECT a FROM s",
+    "SELECT x.a FROM (SELECT a FROM t) AS x",
+    "SELECT a FROM t ORDER BY a DESC LIMIT 3",
+    "WITH v AS (SELECT a FROM t) SELECT a FROM v",
+    "SELECT CASE WHEN a = 1 THEN 'one' ELSE 'many' END AS label FROM t",
+    "SELECT COUNT(*), COUNT(DISTINCT a) FROM t",
+    "SELECT a FROM t WHERE a > (SELECT AVG(b) FROM s)",
+]
+
+
+@pytest.mark.parametrize("sql", ROUND_TRIP_QUERIES)
+def test_query_round_trip(sql):
+    first = parse_statement(sql)
+    printed = to_sql(first)
+    second = parse_statement(printed)
+    assert to_sql(second) == printed  # idempotent after one round
+
+
+ROUND_TRIP_EXPRESSIONS = [
+    "a + b * c",
+    "(a + b) * c",
+    "a = 1 OR b = 2 AND c = 3",
+    "(a = 1 OR b = 2) AND c = 3",
+    "NOT (a = 1 OR b = 2)",
+    "a || 'suffix'",
+    "-a + 4",
+    "a % 3 = 0",
+    "a <> b",
+]
+
+
+@pytest.mark.parametrize("text", ROUND_TRIP_EXPRESSIONS)
+def test_expression_round_trip_preserves_structure(text):
+    first = parse_expression(text)
+    printed = expr_to_sql(first)
+    second = parse_expression(printed)
+    assert expr_to_sql(second) == printed
+
+
+def test_string_literal_escaping():
+    expr = parse_expression("'it''s'")
+    assert expr_to_sql(expr) == "'it''s'"
+    assert parse_expression(expr_to_sql(expr)).value == "it's"
+
+
+def test_create_view_rendering():
+    statement = parse_statement("CREATE VIEW v (x, y) AS SELECT a, b FROM t")
+    text = to_sql(statement)
+    assert text.startswith("CREATE VIEW v (x, y) AS SELECT")
+    again = parse_statement(text)
+    assert again.columns == ["x", "y"]
+
+
+def test_recursive_view_rendering():
+    statement = parse_statement(
+        "CREATE RECURSIVE VIEW r (n) AS SELECT a FROM t UNION ALL SELECT n FROM r"
+    )
+    assert "CREATE RECURSIVE VIEW" in to_sql(statement)
+
+
+def test_precedence_parentheses_inserted():
+    expr = parse_expression("(a + b) * c")
+    assert expr_to_sql(expr) == "(a + b) * c"
+
+
+def test_null_true_false_rendering():
+    assert expr_to_sql(parse_expression("NULL")) == "NULL"
+    assert expr_to_sql(parse_expression("TRUE")) == "TRUE"
+    assert expr_to_sql(parse_expression("FALSE")) == "FALSE"

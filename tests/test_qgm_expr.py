@@ -1,0 +1,167 @@
+"""Unit tests for the QGM expression module: walkers, rewriters,
+structural equality."""
+
+import pytest
+
+from repro.qgm import expr as qe
+from repro.qgm.model import Box, BoxKind, OutputColumn, Quantifier, QuantifierType
+
+
+def make_quantifier(name="t", columns=("a", "b")):
+    base = Box(
+        kind=BoxKind.BASE,
+        name=name.upper(),
+        columns=[OutputColumn(name=c) for c in columns],
+    )
+    return Quantifier(name=name, qtype=QuantifierType.FOREACH, input_box=base)
+
+
+@pytest.fixture
+def t():
+    return make_quantifier("t")
+
+
+@pytest.fixture
+def s():
+    return make_quantifier("s")
+
+
+def test_walk_visits_all_nodes(t):
+    expr = qe.QBinary(
+        op="AND",
+        left=qe.QBinary(op="=", left=t.ref("a"), right=qe.QLiteral(1)),
+        right=qe.QIsNull(operand=t.ref("b")),
+    )
+    nodes = list(qe.walk(expr))
+    assert len(nodes) == 6
+
+
+def test_column_refs_and_referenced_quantifiers(t, s):
+    expr = qe.QBinary(op="=", left=t.ref("a"), right=s.ref("a"))
+    refs = qe.column_refs(expr)
+    assert len(refs) == 2
+    assert qe.referenced_quantifiers(expr) == {t, s}
+
+
+def test_substitute_refs_targets_only_matches(t, s):
+    expr = qe.QBinary(op="+", left=t.ref("a"), right=s.ref("a"))
+
+    def mapping(ref):
+        if ref.quantifier is t:
+            return qe.QLiteral(42)
+        return None
+
+    out = qe.substitute_refs(expr, mapping)
+    assert isinstance(out.left, qe.QLiteral)
+    assert isinstance(out.right, qe.QColRef)
+    assert out.right.quantifier is s
+    # The original expression is untouched.
+    assert isinstance(expr.left, qe.QColRef)
+
+
+def test_remap_quantifier(t, s):
+    expr = qe.QFunc(name="ABS", args=[t.ref("a")])
+    out = qe.remap_quantifier(expr, {t: s})
+    assert out.args[0].quantifier is s
+
+
+def test_conjuncts_flatten_nested_ands(t):
+    a = qe.QBinary(op="=", left=t.ref("a"), right=qe.QLiteral(1))
+    b = qe.QBinary(op="=", left=t.ref("b"), right=qe.QLiteral(2))
+    c = qe.QIsNull(operand=t.ref("a"))
+    nested = qe.QBinary(op="AND", left=qe.QBinary(op="AND", left=a, right=b), right=c)
+    assert qe.conjuncts(nested) == [a, b, c]
+
+
+def test_conjuncts_leaves_or_alone(t):
+    disjunction = qe.QBinary(
+        op="OR",
+        left=qe.QLiteral(True),
+        right=qe.QLiteral(False),
+    )
+    assert qe.conjuncts(disjunction) == [disjunction]
+
+
+def test_is_simple_equality_and_sides(t, s):
+    eq = qe.QBinary(op="=", left=t.ref("a"), right=s.ref("b"))
+    assert qe.is_simple_equality(eq)
+    left, right = qe.equality_sides(eq)
+    assert left.quantifier is t and right.quantifier is s
+    not_eq = qe.QBinary(op="<", left=t.ref("a"), right=s.ref("b"))
+    assert not qe.is_simple_equality(not_eq)
+    assert qe.equality_sides(not_eq) is None
+
+
+def test_is_comparison(t):
+    assert qe.is_comparison(qe.QBinary(op="<=", left=t.ref("a"), right=qe.QLiteral(1)))
+    assert not qe.is_comparison(qe.QBinary(op="+", left=t.ref("a"), right=qe.QLiteral(1)))
+
+
+def test_expr_equal_structural(t, s):
+    first = qe.QBinary(op="=", left=t.ref("a"), right=qe.QLiteral(1))
+    second = qe.QBinary(op="=", left=t.ref("a"), right=qe.QLiteral(1))
+    assert qe.expr_equal(first, second)
+    different_quantifier = qe.QBinary(op="=", left=s.ref("a"), right=qe.QLiteral(1))
+    assert not qe.expr_equal(first, different_quantifier)
+
+
+def test_expr_equal_distinguishes_literal_types(t):
+    assert not qe.expr_equal(qe.QLiteral(1), qe.QLiteral(1.0))
+    assert not qe.expr_equal(qe.QLiteral(True), qe.QLiteral(1))
+    assert qe.expr_equal(qe.QLiteral("x"), qe.QLiteral("x"))
+
+
+def test_expr_equal_aggregates(t):
+    first = qe.QAggregate(func="SUM", arg=t.ref("a"))
+    second = qe.QAggregate(func="SUM", arg=t.ref("a"))
+    assert qe.expr_equal(first, second)
+    assert not qe.expr_equal(first, qe.QAggregate(func="SUM", arg=t.ref("a"), distinct=True))
+    assert not qe.expr_equal(first, qe.QAggregate(func="AVG", arg=t.ref("a")))
+    star = qe.QAggregate(func="COUNT", arg=None)
+    assert qe.expr_equal(star, qe.QAggregate(func="COUNT", arg=None))
+    assert not qe.expr_equal(star, qe.QAggregate(func="COUNT", arg=t.ref("a")))
+
+
+def test_expr_equal_case(t):
+    def make():
+        return qe.QCase(
+            branches=[(qe.QIsNull(operand=t.ref("a")), qe.QLiteral(0))],
+            default=qe.QLiteral(1),
+        )
+
+    assert qe.expr_equal(make(), make())
+    without_default = qe.QCase(
+        branches=[(qe.QIsNull(operand=t.ref("a")), qe.QLiteral(0))]
+    )
+    assert not qe.expr_equal(make(), without_default)
+
+
+def test_map_expr_rebuilds_every_node_type(t):
+    expr = qe.QCase(
+        branches=[
+            (
+                qe.QLike(operand=t.ref("a"), pattern=qe.QLiteral("x%")),
+                qe.QFunc(name="UPPER", args=[t.ref("b")]),
+            )
+        ],
+        default=qe.QUnary(op="-", operand=qe.QLiteral(3)),
+    )
+    count = [0]
+
+    def visit(node):
+        count[0] += 1
+        return node
+
+    out = qe.map_expr(expr, visit)
+    assert count[0] >= 6
+    assert qe.expr_equal(out, expr)
+
+
+def test_str_representations(t):
+    assert str(t.ref("a")) == "t.a"
+    assert "SUM" in str(qe.QAggregate(func="SUM", arg=t.ref("a")))
+    assert "DISTINCT" in str(qe.QAggregate(func="COUNT", arg=t.ref("a"), distinct=True))
+    assert "NULL" in str(qe.QLiteral(None))
+    assert "IS NOT NULL" in str(qe.QIsNull(operand=t.ref("a"), negated=True))
+    assert "LIKE" in str(qe.QLike(operand=t.ref("a"), pattern=qe.QLiteral("%")))
+    assert "CASE" in str(qe.QCase(branches=[(qe.QLiteral(True), qe.QLiteral(1))]))

@@ -1,0 +1,72 @@
+"""Renderer details: DOT attributes, shared-box markers, magic colouring."""
+
+from repro import Database
+from repro.sql import parse_statement
+from repro.qgm import build_query_graph, render_dot, render_text
+from repro.optimizer.heuristic import optimize_with_heuristic
+from repro.workloads.empdept import PAPER_QUERY_SQL, PAPER_VIEWS_SQL, build_empdept_database
+
+
+def magic_graph():
+    db = build_empdept_database(n_departments=50, employees_per_department=5)
+    from repro.api import Connection
+
+    Connection(db).run_script(PAPER_VIEWS_SQL)
+    graph = build_query_graph(parse_statement(PAPER_QUERY_SQL), db.catalog)
+    result = optimize_with_heuristic(graph, db.catalog)
+    return result.graph
+
+
+def test_render_text_marks_shared_boxes():
+    db = Database()
+    db.create_table("t", ["a"], rows=[])
+    graph = build_query_graph(
+        parse_statement("SELECT t1.a FROM t t1, t t2 WHERE t1.a = t2.a"),
+        db.catalog,
+    )
+    text = render_text(graph)
+    assert "(shared)" in text
+
+
+def test_render_text_shows_adornments_and_roles():
+    text = render_text(magic_graph())
+    assert "SUPPLEMENTARY" in text
+    assert "^bf" in text
+
+
+def test_render_dot_node_and_edge_syntax():
+    dot = render_dot(magic_graph())
+    assert "rankdir=BT" in dot
+    assert "cylinder" in dot  # base tables
+    assert "lightyellow" in dot  # supplementary box fill
+    assert "->" in dot
+
+
+def test_render_dot_marks_magic_links_when_present():
+    from repro.rewrite import RewriteEngine, default_rules
+    from repro.optimizer import optimize_graph
+
+    db = build_empdept_database(n_departments=20, employees_per_department=4)
+    from repro.api import Connection
+
+    Connection(db).run_script(PAPER_VIEWS_SQL)
+    graph = build_query_graph(parse_statement(PAPER_QUERY_SQL), db.catalog)
+    engine = RewriteEngine(default_rules(include_emst=True))
+    context = engine.run_phase(graph, 1)
+    plan = optimize_graph(graph, db.catalog)
+    engine.run_phase(graph, 2, join_orders=plan.join_orders, context=context)
+    dot = render_dot(graph)
+    assert "magic-link" in dot
+    assert "lightblue" in dot  # magic box fill
+    text = render_text(graph)
+    assert "linked-magic" in text
+    assert "magic" in text
+
+
+def test_render_distinct_marker():
+    db = Database()
+    db.create_table("t", ["a"], rows=[])
+    graph = build_query_graph(
+        parse_statement("SELECT DISTINCT a FROM t"), db.catalog
+    )
+    assert "DISTINCT" in render_text(graph)

@@ -1,0 +1,75 @@
+"""Storage-layer tests: tables, inserts, persistent indexes."""
+
+import pytest
+
+from repro.engine import Database, Table
+from repro.catalog import ColumnDef, TableSchema
+from repro.errors import CatalogError, ExecutionError
+
+
+def make_table():
+    schema = TableSchema(
+        name="t", columns=[ColumnDef("a"), ColumnDef("b")], primary_key=("a",)
+    )
+    return Table(schema, rows=[(1, "x"), (2, "y"), (3, "x")])
+
+
+def test_insert_checks_arity():
+    table = make_table()
+    with pytest.raises(ExecutionError):
+        table.insert((1, 2, 3))
+
+
+def test_single_column_index():
+    table = make_table()
+    index = table.index_on("b")
+    assert sorted(index["x"]) == [(1, "x"), (3, "x")]
+    assert index["y"] == [(2, "y")]
+
+
+def test_composite_index_uses_tuple_keys():
+    table = make_table()
+    index = table.index_on(("a", "b"))
+    assert index[(1, "x")] == [(1, "x")]
+    assert (9, "z") not in index
+
+
+def test_index_invalidated_on_insert():
+    table = make_table()
+    table.index_on("b")
+    table.insert((4, "x"))
+    assert len(table.index_on("b")["x"]) == 3
+
+
+def test_index_includes_null_keys():
+    table = make_table()
+    table.insert((5, None))
+    assert table.index_on("b")[None] == [(5, None)]
+
+
+def test_database_create_table_with_rows_analyzes():
+    db = Database()
+    db.create_table("t", ["a"], rows=[(1,), (2,)])
+    assert db.catalog.statistics("t").row_count == 2
+
+
+def test_database_unknown_table():
+    db = Database()
+    with pytest.raises(CatalogError):
+        db.table("missing")
+
+
+def test_database_insert_and_len():
+    db = Database()
+    table = db.create_table("t", ["a"])
+    db.insert("t", [(1,), (2,)])
+    assert len(table) == 2
+
+
+def test_analyze_all_tables():
+    db = Database()
+    db.create_table("t", ["a"], rows=[(1,)])
+    db.create_table("s", ["b"], rows=[(1,), (2,)])
+    db.insert("s", [(3,)])
+    db.analyze()
+    assert db.catalog.statistics("s").row_count == 3

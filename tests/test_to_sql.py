@@ -1,0 +1,91 @@
+"""QGM → SQL rendering (the Figure 5 presentation)."""
+
+from repro.sql import parse_statement
+from repro.qgm import build_query_graph
+from repro.qgm.to_sql import box_to_sql, graph_to_sql
+
+
+def build(sql, db):
+    return build_query_graph(parse_statement(sql), db.catalog)
+
+
+def test_simple_select_renders(empdept_db):
+    graph = build("SELECT empno FROM employee WHERE salary > 10", empdept_db)
+    text = box_to_sql(graph.top_box)
+    assert text.startswith("SELECT")
+    assert "FROM employee" in text
+    assert "WHERE" in text
+
+
+def test_groupby_renders_group_by_clause(empdept_db):
+    graph = build(
+        "SELECT workdept, AVG(salary) FROM employee GROUP BY workdept",
+        empdept_db,
+    )
+    statements = graph_to_sql(graph)
+    grouped = [s for s in statements if "GROUP BY" in s]
+    assert len(grouped) == 1
+    assert "AVG(" in grouped[0]
+
+
+def test_distinct_renders(empdept_db):
+    graph = build("SELECT DISTINCT workdept FROM employee", empdept_db)
+    assert "SELECT DISTINCT" in box_to_sql(graph.top_box)
+
+
+def test_setop_renders(empdept_db):
+    graph = build(
+        "SELECT empno FROM employee UNION ALL SELECT mgrno FROM department",
+        empdept_db,
+    )
+    assert "UNION ALL" in box_to_sql(graph.top_box)
+    graph = build(
+        "SELECT empno FROM employee EXCEPT SELECT mgrno FROM department",
+        empdept_db,
+    )
+    assert "EXCEPT" in box_to_sql(graph.top_box)
+
+
+def test_exists_renders_as_exists(empdept_db):
+    graph = build(
+        "SELECT empname FROM employee e WHERE EXISTS "
+        "(SELECT deptno FROM department d WHERE d.mgrno = e.empno)",
+        empdept_db,
+    )
+    assert "EXISTS (SELECT * FROM" in box_to_sql(graph.top_box)
+
+
+def test_graph_to_sql_producers_first(empdept_conn):
+    graph = build(
+        "SELECT d.deptname FROM department d, avgMgrSal s "
+        "WHERE d.deptno = s.workdept",
+        empdept_conn.database,
+    )
+    statements = graph_to_sql(graph)
+    # The top query is last, views before it.
+    assert statements[-1].startswith("(QUERY):")
+    assert any("AS (" in s for s in statements[:-1])
+
+
+def test_string_literal_escaped(empdept_db):
+    graph = build(
+        "SELECT empno FROM employee WHERE empname = 'o''brien'", empdept_db
+    )
+    assert "'o''brien'" in box_to_sql(graph.top_box)
+
+
+def test_adornment_shown_in_statement_names(empdept_conn):
+    from repro.optimizer.heuristic import optimize_with_heuristic
+    from repro.sql import parse_statement as parse
+
+    db = empdept_conn.database
+    graph = build_query_graph(
+        parse(
+            "SELECT d.deptname, s.avgsalary FROM department d, avgMgrSal s "
+            "WHERE d.deptno = s.workdept AND d.deptname = 'Planning'"
+        ),
+        db.catalog,
+    )
+    result = optimize_with_heuristic(graph, db.catalog)
+    statements = graph_to_sql(result.graph)
+    assert any("^bf" in s for s in statements)

@@ -1,0 +1,90 @@
+"""Workload generator and experiment-harness tests (small scales)."""
+
+import pytest
+
+from repro.workloads import (
+    EXPERIMENTS,
+    build_decision_support_database,
+    build_empdept_database,
+    format_table1,
+    run_experiment,
+)
+from repro.workloads.experiments import PAPER_TABLE1, canonical_rows
+
+
+def test_empdept_generator_is_deterministic():
+    db1 = build_empdept_database(n_departments=10, employees_per_department=5, seed=3)
+    db2 = build_empdept_database(n_departments=10, employees_per_department=5, seed=3)
+    assert db1.table("employee").rows == db2.table("employee").rows
+    assert db1.table("department").rows == db2.table("department").rows
+
+
+def test_empdept_generator_shape():
+    db = build_empdept_database(n_departments=10, employees_per_department=5)
+    departments = db.table("department").rows
+    employees = db.table("employee").rows
+    assert len(departments) == 10
+    assert len(employees) == 50
+    assert sum(1 for d in departments if d[1] == "Planning") == 1
+    # Every department's manager exists and works there.
+    by_empno = {e[0]: e for e in employees}
+    for deptno, _, mgrno, _, _ in departments:
+        manager = by_empno[mgrno]
+        assert manager[2] == deptno
+        assert manager[4] == "MANAGER"
+
+
+def test_empdept_statistics_registered():
+    db = build_empdept_database(n_departments=5, employees_per_department=4)
+    assert db.catalog.statistics("employee").row_count == 20
+
+
+def test_decision_support_generator_shape():
+    db = build_decision_support_database(scale=0.1)
+    assert len(db.table("nation")) == 25
+    orders = db.table("orders").rows
+    customers = db.table("customer").rows
+    assert all(0 <= o[1] < len(customers) for o in orders)
+    lineitems = db.table("lineitem").rows
+    assert len(lineitems) == 3 * len(orders)
+
+
+def test_decision_support_deterministic():
+    a = build_decision_support_database(scale=0.2, seed=9)
+    b = build_decision_support_database(scale=0.2, seed=9)
+    assert a.table("orders").rows == b.table("orders").rows
+
+
+def test_experiment_registry_complete():
+    assert sorted(EXPERIMENTS) == list("ABCDEFGH")
+    for key, experiment in EXPERIMENTS.items():
+        assert experiment.key == key
+        assert experiment.shape_checks
+        assert experiment.paper_row == PAPER_TABLE1[key]
+        assert experiment.build.__doc__
+
+
+@pytest.mark.parametrize("key", sorted(EXPERIMENTS))
+def test_experiments_all_strategies_agree_at_tiny_scale(key):
+    run = run_experiment(EXPERIMENTS[key], scale=0.05, repeats=1)
+    assert run.rows_agree, "strategies disagree on experiment %s" % key
+    assert set(run.normalized) == {"original", "correlated", "emst"}
+    assert run.normalized["original"] == 100.0
+
+
+def test_format_table1_renders():
+    run = run_experiment(EXPERIMENTS["A"], scale=0.05, repeats=1)
+    text = format_table1({"A": run})
+    assert "Exp A" in text
+    assert "Original" in text
+
+
+def test_canonical_rows_rounds_floats():
+    left = [(1, 0.1 + 0.2)]
+    right = [(1, 0.3)]
+    assert canonical_rows(left) == canonical_rows(right)
+
+
+def test_canonical_rows_sorts_with_nulls():
+    rows = [(None, 1), (2, None), (1, 1)]
+    assert canonical_rows(rows)  # does not raise
