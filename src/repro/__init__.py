@@ -23,8 +23,14 @@ Quickstart::
 from repro.api import Connection, ExecutionOutcome, STRATEGIES
 from repro.catalog import Catalog, ColumnDef, TableSchema
 from repro.engine import CorrelatedEvaluator, Database, Evaluator, Table
-from repro.errors import ReproError
+from repro.errors import ReproError, ResourceExhaustedError
 from repro.magic import EmstRule
+from repro.resilience import (
+    FallbackReport,
+    FaultPlan,
+    ResiliencePolicy,
+    ResourceGovernor,
+)
 from repro.optimizer import optimize_graph
 from repro.optimizer.heuristic import optimize_with_heuristic
 from repro.qgm import build_query_graph, render_dot, render_text, validate_graph
@@ -45,6 +51,11 @@ __all__ = [
     "Evaluator",
     "Table",
     "ReproError",
+    "ResourceExhaustedError",
+    "ResiliencePolicy",
+    "ResourceGovernor",
+    "FaultPlan",
+    "FallbackReport",
     "EmstRule",
     "optimize_graph",
     "optimize_with_heuristic",

@@ -29,7 +29,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from repro.errors import NotSupportedError, ReproError
+from repro.errors import NotSupportedError, ReproError, ResourceExhaustedError
+from repro.resilience.fallback import FallbackReport
 from repro.sql import parse_script
 from repro.sql.ast import CreateTable, CreateView, Delete, InsertValues, Query, Update
 from repro.qgm import build_query_graph, render_text, validate_graph
@@ -38,6 +39,31 @@ from repro.optimizer import optimize_graph
 from repro.optimizer.heuristic import optimize_with_heuristic
 
 STRATEGIES = ("original", "correlated", "emst", "phase1", "norewrite")
+
+
+def _describe_rules(context):
+    """Per-rule observability lines for ``Connection.explain``."""
+    names = sorted(
+        set(context.rule_seconds)
+        | set(context.firing_counts)
+        | set(context.rollback_counts)
+    )
+    if not names:
+        return []
+    lines = ["rule timings:"]
+    for name in names:
+        line = "  %s: fired %d, %.4fs" % (
+            name,
+            context.firing_counts.get(name, 0),
+            context.rule_seconds.get(name, 0.0),
+        )
+        rollbacks = context.rollback_counts.get(name, 0)
+        if rollbacks:
+            line += ", rollbacks %d" % rollbacks
+        if name in context.quarantined:
+            line += ", quarantined (%s)" % context.quarantined[name]
+        lines.append(line)
+    return lines
 
 
 def _constant_value(expr):
@@ -71,6 +97,8 @@ class ExecutionOutcome:
     elapsed_seconds: float = 0.0
     rewrite_seconds: float = 0.0
     stats: Dict[str, int] = field(default_factory=dict)
+    #: A FallbackReport when the query ran under a ResiliencePolicy.
+    resilience: Optional[object] = None
 
     @property
     def rows(self):
@@ -79,6 +107,22 @@ class ExecutionOutcome:
     @property
     def columns(self):
         return self.result.columns
+
+    @property
+    def fallback_strategy(self):
+        """The strategy the query effectively ran under (differs from
+        ``strategy`` only when the resilience layer degraded it)."""
+        if self.resilience is not None:
+            return self.resilience.fallback_strategy
+        return self.strategy
+
+    @property
+    def quarantined_rules(self):
+        return (
+            sorted(self.resilience.quarantined)
+            if self.resilience is not None
+            else []
+        )
 
 
 @dataclass
@@ -92,14 +136,23 @@ class PreparedQuery:
     plan: Optional[object]
     heuristic: Optional[object]
     strategy: str
+    resilience: Optional[object] = None
 
     def execute(self):
         join_orders = self.plan.join_orders if self.plan is not None else None
+        governor = fault_plan = None
+        if self.resilience is not None:
+            # Budgets are per execution: rewrite/plan costs were paid at
+            # prepare time, so each run gets the full execution budget.
+            self.resilience.governor.begin_query()
+            governor = self.resilience.governor
+            fault_plan = self.resilience.fault_plan
         if self.strategy == "correlated":
             from repro.engine import CorrelatedEvaluator
 
             evaluator = CorrelatedEvaluator(
-                self.graph, self.database, join_orders=join_orders
+                self.graph, self.database, join_orders=join_orders,
+                governor=governor, fault_plan=fault_plan,
             )
         else:
             from repro.engine import Evaluator
@@ -109,19 +162,33 @@ class PreparedQuery:
                 self.database,
                 join_orders=join_orders,
                 memoize_correlated=(self.strategy == "emst"),
+                governor=governor,
+                fault_plan=fault_plan,
             )
         result = evaluator.run()
         return result, evaluator.stats
 
 
 class Connection:
-    """Executes SQL against a database under a chosen strategy."""
+    """Executes SQL against a database under a chosen strategy.
 
-    def __init__(self, database):
+    ``resilience`` (a :class:`~repro.resilience.ResiliencePolicy`) makes
+    every query on this connection fail soft: per-query resource budgets,
+    rule rollback + quarantine during rewrite, and degradation along the
+    strategy chain ``emst -> phase1 -> original`` instead of raising. The
+    same policy object can also be passed per call to ``execute_query``/
+    ``explain_execute``.
+    """
+
+    def __init__(self, database, resilience=None):
         self.database = database
+        self.resilience = resilience
 
-    def prepare_statement(self, sql_text, strategy="emst"):
+    def prepare_statement(self, sql_text, strategy="emst", resilience=None):
         """Parse, rewrite and plan once; returns a :class:`PreparedQuery`."""
+        resilience = resilience if resilience is not None else self.resilience
+        if resilience is not None:
+            resilience.begin_query()
         script = parse_script(sql_text)
         queries = script.queries
         if len(queries) != 1:
@@ -129,7 +196,9 @@ class Connection:
         for statement in script.views:
             self.database.catalog.add_view(statement)
         try:
-            graph, plan, heuristic, _ = self.prepare(queries[0], strategy)
+            graph, plan, heuristic, _ = self.prepare(
+                queries[0], strategy, resilience=resilience
+            )
         finally:
             for statement in script.views:
                 self.database.catalog.drop_view(statement.name)
@@ -140,6 +209,7 @@ class Connection:
             plan=plan,
             heuristic=heuristic,
             strategy=strategy,
+            resilience=resilience,
         )
 
     # -- statements -------------------------------------------------------------
@@ -264,7 +334,7 @@ class Connection:
         table = self.database.table(statement.table)
         mask = self._matching_row_mask(statement.table, statement.where)
         table.rows = [row for row, hit in zip(table.rows, mask) if not hit]
-        table._indexes.clear()
+        table.invalidate_indexes()
         self.database.analyze(statement.table)
 
     def _update(self, statement):
@@ -304,14 +374,14 @@ class Connection:
                 updated[ordinal] = value
             new_rows.append(tuple(updated))
         table.rows = new_rows
-        table._indexes.clear()
+        table.invalidate_indexes()
         self.database.analyze(statement.table)
 
     def execute(self, sql_text, strategy="emst"):
         """Parse and execute a single query; returns the Result."""
         return self.explain_execute(sql_text, strategy=strategy).result
 
-    def explain_execute(self, sql_text, strategy="emst"):
+    def explain_execute(self, sql_text, strategy="emst", resilience=None):
         """Parse and execute a single query; returns an ExecutionOutcome."""
         script = parse_script(sql_text)
         queries = script.queries
@@ -320,14 +390,16 @@ class Connection:
         for statement in script.views:
             self.database.catalog.add_view(statement)
         try:
-            return self.execute_query(queries[0], strategy=strategy)
+            return self.execute_query(
+                queries[0], strategy=strategy, resilience=resilience
+            )
         finally:
             for statement in script.views:
                 self.database.catalog.drop_view(statement.name)
 
     # -- core ---------------------------------------------------------------------
 
-    def prepare(self, query, strategy="emst"):
+    def prepare(self, query, strategy="emst", resilience=None):
         """Build (and rewrite/plan per strategy) the query graph; returns
         (graph, plan_or_None, heuristic_or_None, rewrite_seconds)."""
         if strategy not in STRATEGIES:
@@ -343,7 +415,10 @@ class Connection:
             plan = optimize_graph(graph, self.database.catalog)
             return graph, plan, None, time.perf_counter() - started
         heuristic = optimize_with_heuristic(
-            graph, self.database.catalog, use_emst=(strategy == "emst")
+            graph,
+            self.database.catalog,
+            use_emst=(strategy == "emst"),
+            resilience=resilience,
         )
         return (
             heuristic.graph,
@@ -352,14 +427,55 @@ class Connection:
             time.perf_counter() - started,
         )
 
-    def execute_query(self, query, strategy="emst"):
-        graph, plan, heuristic, rewrite_seconds = self.prepare(query, strategy)
+    def execute_query(self, query, strategy="emst", resilience=None):
+        resilience = resilience if resilience is not None else self.resilience
+        if resilience is None:
+            return self._execute_once(query, strategy, None)
+        resilience.begin_query()
+        attempts = []
+        last_error = None
+        for candidate in resilience.chain_for(strategy):
+            try:
+                outcome = self._execute_once(query, candidate, resilience)
+            except Exception as exc:
+                # Fail soft on *anything* a strategy threw — a corrupted
+                # graph can surface as an arbitrary exception far from the
+                # rule that broke it. The last chain entry re-raises. Blown
+                # budgets propagate (unless the policy opts in): a limit
+                # exceeded under emst would be exceeded under original too.
+                if (
+                    isinstance(exc, ResourceExhaustedError)
+                    and not resilience.fallback_on_exhaustion
+                ):
+                    raise
+                attempts.append(
+                    (candidate, "%s: %s" % (type(exc).__name__, exc))
+                )
+                last_error = exc
+                continue
+            outcome.resilience = FallbackReport(
+                requested=strategy,
+                executed=candidate,
+                attempts=attempts,
+                quarantined=dict(resilience.quarantine.reasons),
+            )
+            return outcome
+        raise last_error
+
+    def _execute_once(self, query, strategy, resilience):
+        """One prepare + execute under one strategy (no fallback)."""
+        graph, plan, heuristic, rewrite_seconds = self.prepare(
+            query, strategy, resilience=resilience
+        )
         validate_graph(graph)
         join_orders = plan.join_orders if plan is not None else None
+        governor = resilience.governor if resilience is not None else None
+        fault_plan = resilience.fault_plan if resilience is not None else None
         started = time.perf_counter()
         if strategy == "correlated":
             evaluator = CorrelatedEvaluator(
-                graph, self.database, join_orders=join_orders
+                graph, self.database, join_orders=join_orders,
+                governor=governor, fault_plan=fault_plan,
             )
         else:
             # The Original strategy re-evaluates correlated subqueries per
@@ -369,9 +485,14 @@ class Connection:
                 self.database,
                 join_orders=join_orders,
                 memoize_correlated=(strategy == "emst"),
+                governor=governor,
+                fault_plan=fault_plan,
             )
         result = evaluator.run()
         elapsed = time.perf_counter() - started
+        stats = evaluator.stats.as_dict()
+        if heuristic is not None and heuristic.context is not None:
+            stats.update(heuristic.context.observability())
         return ExecutionOutcome(
             result=result,
             strategy=strategy,
@@ -380,7 +501,7 @@ class Connection:
             heuristic=heuristic,
             elapsed_seconds=elapsed,
             rewrite_seconds=rewrite_seconds,
-            stats=evaluator.stats.as_dict(),
+            stats=stats,
         )
 
     def explain(self, sql_text, strategy="emst"):
@@ -406,6 +527,8 @@ class Connection:
                     heuristic.cost_without_emst,
                 )
             )
+            if heuristic.context is not None:
+                parts.extend(_describe_rules(heuristic.context))
         if plan is not None:
             parts.append(plan.describe())
         parts.append(render_text(graph))

@@ -37,7 +37,10 @@ from repro.engine.expressions import (
 class CorrelatedEvaluator:
     """Tuple-at-a-time evaluation with per-binding pushdown."""
 
-    def __init__(self, graph, database, join_orders=None, memoize=False):
+    def __init__(
+        self, graph, database, join_orders=None, memoize=False,
+        governor=None, fault_plan=None,
+    ):
         if is_recursive(graph):
             raise NotSupportedError(
                 "the correlated strategy does not support recursive queries"
@@ -46,6 +49,9 @@ class CorrelatedEvaluator:
         self.database = database
         self.join_orders = join_orders or {}
         self.memoize = memoize
+        # Resilience hooks (see Evaluator): optional metering + injection.
+        self.governor = governor
+        self.fault_plan = fault_plan
         self.stats = EvaluatorStats()
         self._memo = {}
         self._externals_cache = {}
@@ -78,6 +84,15 @@ class CorrelatedEvaluator:
         """Rows of ``box`` under outer bindings ``env``, restricted by
         ``filters`` (lower-cased output column name → required value)."""
         self.stats.box_evaluations += 1
+        if self.fault_plan is not None:
+            self.fault_plan.on_box_evaluation(box.name)
+        if self.governor is not None:
+            if env:
+                self.governor.charge_correlated(
+                    "correlated evaluation of box %r" % box.name
+                )
+            else:
+                self.governor.check_deadline("evaluation of box %r" % box.name)
         memoizable = self.memoize and not self._is_correlated(box)
         if memoizable:
             key = (id(box), tuple(sorted(filters.items())))
@@ -109,6 +124,8 @@ class CorrelatedEvaluator:
         if box.distinct == DistinctMode.ENFORCE:
             rows = _dedupe(rows)
         self.stats.rows_produced += len(rows)
+        if self.governor is not None:
+            self.governor.charge_rows(len(rows), "evaluation of box %r" % box.name)
         if memoizable:
             self._memo[key] = rows
         return rows

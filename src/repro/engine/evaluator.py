@@ -69,11 +69,18 @@ class EvaluatorStats:
 class Evaluator:
     """Evaluates a :class:`~repro.qgm.model.QueryGraph` against a database."""
 
-    def __init__(self, graph, database, join_orders=None, memoize_correlated=True):
+    def __init__(
+        self, graph, database, join_orders=None, memoize_correlated=True,
+        governor=None, fault_plan=None,
+    ):
         self.graph = graph
         self.database = database
         self.join_orders = join_orders or {}
         self.memoize_correlated = memoize_correlated
+        # Resilience hooks: the governor meters rows/correlated work/wall
+        # clock, the fault plan injects test failures (both optional).
+        self.governor = governor
+        self.fault_plan = fault_plan
         self.stats = EvaluatorStats()
         self._materialized = {}
         self._correlated_memo = {}
@@ -145,6 +152,10 @@ class Evaluator:
                 )
             bindings.append((id(quantifier), row))
         self.stats.correlated_evaluations += 1
+        if self.governor is not None:
+            self.governor.charge_correlated(
+                "correlated evaluation of box %r" % box.name
+            )
         if self.memoize_correlated:
             key = (id(box), tuple(bindings))
             cached = self._correlated_memo.get(key)
@@ -159,6 +170,10 @@ class Evaluator:
     def _finalize(self, box, rows):
         self.stats.box_evaluations += 1
         self.stats.rows_produced += len(rows)
+        if self.fault_plan is not None:
+            self.fault_plan.on_box_evaluation(box.name)
+        if self.governor is not None:
+            self.governor.charge_rows(len(rows), "evaluation of box %r" % box.name)
         if box.distinct == DistinctMode.ENFORCE:
             rows = _dedupe(rows)
         return rows

@@ -23,6 +23,7 @@ from __future__ import annotations
 from repro.errors import QgmError
 from repro.qgm.model import BoxKind, QuantifierType
 
+# Retained name for backward compatibility; the governor owns the default.
 _MAX_ROUNDS = 100000
 
 
@@ -67,14 +68,27 @@ def _linear_member_quantifier(box, member_ids):
     return quantifier
 
 
-def run_fixpoint(evaluator, component):
+def run_fixpoint(evaluator, component, governor=None):
     """Evaluate all boxes of a recursive component to a fixpoint.
 
     Fills ``evaluator._materialized`` for every member with deduplicated
     rows. Linear select boxes run semi-naive (delta-driven); everything
     else re-evaluates fully each round.
+
+    Round and deadline budgets come from ``governor`` (or the evaluator's
+    governor; a default governor enforces the historical 100000-round cap
+    and raises :class:`~repro.errors.ResourceExhaustedError` naming the
+    limit and the recursive component).
     """
     _check_stratified(component)
+
+    if governor is None:
+        governor = getattr(evaluator, "governor", None)
+    if governor is None:
+        from repro.resilience.governor import ResourceGovernor
+
+        governor = ResourceGovernor()
+    component_names = sorted(box.name for box in component)
 
     member_ids = {id(box) for box in component}
     seen = {id(box): set() for box in component}
@@ -97,11 +111,7 @@ def run_fixpoint(evaluator, component):
     changed = True
     while changed:
         rounds += 1
-        if rounds > _MAX_ROUNDS:
-            raise QgmError(
-                "recursive component failed to converge after %d rounds"
-                % _MAX_ROUNDS
-            )
+        governor.check_fixpoint_rounds(rounds, component_names)
         changed = False
         new_delta = {id(box): [] for box in component}
         for box in component:

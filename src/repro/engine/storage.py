@@ -27,11 +27,17 @@ class Table:
                 % (len(row), self.schema.name, len(self.schema.columns))
             )
         self.rows.append(tuple(row))
-        self._indexes.clear()
+        self.invalidate_indexes()
 
     def insert_many(self, rows):
         for row in rows:
             self.insert(row)
+
+    def invalidate_indexes(self):
+        """Drop the lazily built hash indexes; the next ``index_on`` call
+        rebuilds them. Callers that mutate ``rows`` directly (DELETE and
+        UPDATE do) must call this instead of touching ``_indexes``."""
+        self._indexes.clear()
 
     def index_on(self, columns):
         """A hash index ``key -> [row, ...]`` on one column (keys are bare

@@ -8,7 +8,17 @@ from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by this library."""
+    """Base class for all errors raised by this library.
+
+    ``context`` carries structured diagnostics (which subsystem, how far
+    along, which limit, ...) so callers can react programmatically instead
+    of parsing the message. Subclasses that accept positional arguments
+    keep working: ``context`` is keyword-only.
+    """
+
+    def __init__(self, *args, context=None):
+        super().__init__(*args)
+        self.context = dict(context or {})
 
 
 class SqlError(ReproError):
@@ -61,6 +71,25 @@ class PlanError(ReproError):
 
 class ExecutionError(ReproError):
     """Raised by the execution engine (cardinality violations etc.)."""
+
+
+class ResourceExhaustedError(ExecutionError):
+    """Raised by the :class:`~repro.resilience.ResourceGovernor` when a
+    per-query budget (wall-clock deadline, rewrite sweeps, fixpoint rounds,
+    materialized rows, correlated invocations) is exceeded.
+
+    ``limit`` names the budget that tripped, ``where`` the pipeline stage,
+    and ``progress`` how far the query got; all three are repeated in
+    :attr:`ReproError.context` for structured consumption.
+    """
+
+    def __init__(self, message, limit=None, where=None, progress=None, context=None):
+        merged = {"limit": limit, "where": where, "progress": progress}
+        merged.update(context or {})
+        super().__init__(message, context=merged)
+        self.limit = limit
+        self.where = where
+        self.progress = progress
 
 
 class NotSupportedError(ReproError):

@@ -45,6 +45,8 @@ class HeuristicResult:
     phase_firings: Dict[int, Dict[str, int]] = field(default_factory=dict)
     graph_without_emst: Optional[object] = None
     plan_without_emst: Optional[GraphPlan] = None
+    #: The RuleContext of the run (per-rule timings, rollbacks, quarantines).
+    context: Optional[object] = None
 
     @property
     def join_orders(self):
@@ -59,21 +61,27 @@ def _clear_magic_links(graph):
         box.linked_magic = []
 
 
-def optimize_with_heuristic(graph, catalog=None, engine=None, use_emst=True):
+def optimize_with_heuristic(graph, catalog=None, engine=None, use_emst=True,
+                            resilience=None):
     """Run the full rewrite + plan pipeline on ``graph`` (mutating it).
 
     Returns a :class:`HeuristicResult`. With ``use_emst=False`` only phase 1
     and one plan pass run (the baseline the heuristic compares against).
+    ``resilience`` (a :class:`~repro.resilience.ResiliencePolicy`) enables
+    per-firing rollback/quarantine and governor budgets inside each phase.
     """
     from repro.rewrite.engine import RewriteEngine, default_rules
 
     catalog = catalog or graph.catalog
     if engine is None:
-        engine = RewriteEngine(default_rules(include_emst=use_emst))
+        rules = default_rules(include_emst=use_emst)
+        if resilience is not None:
+            rules = resilience.rules_for(rules)
+        engine = RewriteEngine(rules)
 
     phase_firings = {}
 
-    context = engine.run_phase(graph, 1)
+    context = engine.run_phase(graph, 1, resilience=resilience)
     phase_firings[1] = dict(context.firing_counts)
 
     plan_before = optimize_graph(graph, catalog)
@@ -88,6 +96,7 @@ def optimize_with_heuristic(graph, catalog=None, engine=None, use_emst=True):
             cost_with_emst=float("inf"),
             optimizer_invocations=optimizer_invocations,
             phase_firings=phase_firings,
+            context=context,
         )
 
     # Keep a pristine copy of the non-magic graph: the heuristic guarantees
@@ -95,13 +104,16 @@ def optimize_with_heuristic(graph, catalog=None, engine=None, use_emst=True):
     snapshot = _copy.deepcopy(graph)
 
     before = dict(context.firing_counts)
-    context = engine.run_phase(graph, 2, join_orders=plan_before.join_orders, context=context)
+    context = engine.run_phase(
+        graph, 2, join_orders=plan_before.join_orders, context=context,
+        resilience=resilience,
+    )
     phase_firings[2] = _delta(before, context.firing_counts)
 
     _clear_magic_links(graph)
 
     before = dict(context.firing_counts)
-    context = engine.run_phase(graph, 3, context=context)
+    context = engine.run_phase(graph, 3, context=context, resilience=resilience)
     phase_firings[3] = _delta(before, context.firing_counts)
 
     plan_after = optimize_graph(graph, catalog)
@@ -123,6 +135,7 @@ def optimize_with_heuristic(graph, catalog=None, engine=None, use_emst=True):
         phase_firings=phase_firings,
         graph_without_emst=snapshot,
         plan_without_emst=plan_before,
+        context=context,
     )
 
 

@@ -31,6 +31,7 @@ from repro.qgm.model import (
     QueryGraph,
 )
 from repro.qgm.builder import build_query_graph
+from repro.qgm.clone import clone_box, clone_graph, restore_graph
 from repro.qgm.stratum import assign_strata, reduced_dependency_graph
 from repro.qgm.render import render_text, render_dot, graph_summary
 from repro.qgm.validate import validate_graph
@@ -60,6 +61,9 @@ __all__ = [
     "QuantifierType",
     "QueryGraph",
     "build_query_graph",
+    "clone_box",
+    "clone_graph",
+    "restore_graph",
     "assign_strata",
     "reduced_dependency_graph",
     "render_text",

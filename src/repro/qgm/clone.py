@@ -10,8 +10,34 @@ quantifiers.
 
 from __future__ import annotations
 
+import copy as _copy
+
 from repro.qgm import expr as qe
 from repro.qgm.model import Box, Quantifier
+
+
+def clone_graph(graph):
+    """A self-contained deep copy of a whole :class:`QueryGraph`.
+
+    The catalog is shared (it is read-only metadata and may be large);
+    every box, quantifier and expression is copied, preserving ``box_id``
+    values so plan artifacts keyed by box id (join orders) remain valid
+    against the copy. Used by the resilience layer to snapshot the graph
+    before a rule firing so a failed firing can be rolled back.
+    """
+    memo = {}
+    if graph.catalog is not None:
+        memo[id(graph.catalog)] = graph.catalog
+    return _copy.deepcopy(graph, memo)
+
+
+def restore_graph(graph, snapshot):
+    """Restore ``graph`` *in place* to a snapshot taken by
+    :func:`clone_graph`. In-place matters: callers up the stack (the
+    rewrite context, the heuristic pipeline) hold references to the graph
+    object itself."""
+    graph.__dict__.clear()
+    graph.__dict__.update(snapshot.__dict__)
 
 
 def _subtree_boxes(box):

@@ -140,9 +140,11 @@ def _validate_box(box, box_ids, all_quantifiers):
                         "box %r references a dangling quantifier %r"
                         % (box.name, node.quantifier.name)
                     )
-                if node.quantifier in local and not node.quantifier.input_box.has_column(
-                    node.column
-                ):
+                # Checked for *every* reference, local or correlated: a
+                # correlated reference to a column its quantifier's input
+                # box does not produce is just as broken (gap found while
+                # wiring the resilience layer's paranoid mode).
+                if not node.quantifier.input_box.has_column(node.column):
                     raise QgmError(
                         "box %r references missing column %s.%s"
                         % (box.name, node.quantifier.name, node.column)

@@ -1,0 +1,35 @@
+"""Resilience layer: per-query resource budgets, rewrite rollback with
+rule quarantine, strategy fallback, and deterministic fault injection.
+
+The paper's engineering claim is that magic sets can live inside a
+*production* system: a rewrite rule that throws, a transformation that
+corrupts the graph, or a transformed query that recurses forever must
+degrade the query — never take down query processing. This package makes
+the pipeline fail soft:
+
+* :class:`ResourceGovernor` — cooperative per-query budgets (wall-clock
+  deadline, rewrite sweeps, fixpoint rounds, materialized rows, correlated
+  invocations) raising :class:`~repro.errors.ResourceExhaustedError`,
+* :class:`ResiliencePolicy` — rule-level rollback + quarantine plus the
+  declared strategy fallback chain ``emst -> phase1 -> original``,
+* :class:`FaultPlan` — a seedable fault-injection harness that wraps
+  rewrite rules and evaluator hooks so the failure paths are exercised by
+  real tests (``python -m repro.resilience.chaos``).
+"""
+
+from repro.resilience.governor import ResourceGovernor
+from repro.resilience.fallback import (
+    FallbackReport,
+    QuarantineRegistry,
+    ResiliencePolicy,
+)
+from repro.resilience.faults import FaultPlan, InjectedFault
+
+__all__ = [
+    "ResourceGovernor",
+    "ResiliencePolicy",
+    "QuarantineRegistry",
+    "FallbackReport",
+    "FaultPlan",
+    "InjectedFault",
+]

@@ -1,0 +1,142 @@
+"""Rewrite rollback bookkeeping and the strategy fallback chain.
+
+Two layers of degradation, both driven by a :class:`ResiliencePolicy`:
+
+1. **Rule level** — the rewrite engine snapshots the graph before every
+   rule firing; a rule that raises (or, in paranoid mode, corrupts the
+   graph) is rolled back and *quarantined* in the policy's
+   :class:`QuarantineRegistry` for the rest of the query, so one bad rule
+   costs its own firings, not the query.
+2. **Strategy level** — if a whole strategy still fails,
+   :class:`~repro.api.Connection` walks the declared chain
+   ``emst -> phase1 -> original`` and records what happened in a
+   :class:`FallbackReport` on the outcome instead of raising.
+
+:class:`~repro.errors.ResourceExhaustedError` never triggers fallback by
+default: a blown budget under ``emst`` would blow under ``original`` too,
+and silently retrying would double the damage. Set
+``fallback_on_exhaustion=True`` to opt in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.resilience.governor import ResourceGovernor
+
+#: The declared degradation chain of the tentpole: full EMST pipeline,
+#: then the rewrite pipeline without EMST, then no rewrite at all.
+DEFAULT_FALLBACK_CHAIN = ("emst", "phase1", "original")
+
+
+class QuarantineRegistry:
+    """Rules banned from firing for the remainder of the current query."""
+
+    def __init__(self):
+        self.reasons = {}
+
+    def add(self, rule_name, reason, phase=None):
+        if rule_name not in self.reasons:
+            self.reasons[rule_name] = {"reason": reason, "phase": phase}
+
+    def __contains__(self, rule_name):
+        return rule_name in self.reasons
+
+    def __bool__(self):
+        return bool(self.reasons)
+
+    def names(self):
+        return sorted(self.reasons)
+
+    def clear(self):
+        self.reasons = {}
+
+
+@dataclass
+class FallbackReport:
+    """What the resilience layer observed while producing one outcome."""
+
+    requested: str
+    executed: str
+    #: (strategy, error repr) for every strategy that failed outright.
+    attempts: List[Tuple[str, str]] = field(default_factory=list)
+    #: rule name -> {"reason": ..., "phase": ...} for quarantined rules.
+    quarantined: Dict[str, dict] = field(default_factory=dict)
+
+    @property
+    def degraded(self):
+        return self.executed != self.requested or bool(self.quarantined)
+
+    @property
+    def fallback_strategy(self):
+        """The strategy whose semantics the query effectively ran under.
+
+        Falling back is either explicit (a later chain entry executed) or
+        implicit: quarantining the EMST rule mid-pipeline leaves exactly
+        the phase-1 pipeline, so that degradation is reported as
+        ``phase1`` even though the ``emst`` code path drove it.
+        """
+        if self.executed != self.requested:
+            return self.executed
+        if self.requested == "emst" and "emst" in self.quarantined:
+            return "phase1"
+        return self.executed
+
+    def describe(self):
+        parts = ["requested=%s executed=%s" % (self.requested, self.executed)]
+        if self.fallback_strategy != self.requested:
+            parts.append("degraded to %s" % self.fallback_strategy)
+        for strategy, error in self.attempts:
+            parts.append("%s failed: %s" % (strategy, error))
+        for name, info in sorted(self.quarantined.items()):
+            parts.append("quarantined %s (%s)" % (name, info["reason"]))
+        return "; ".join(parts)
+
+
+class ResiliencePolicy:
+    """Bundles everything the pipeline needs to fail soft.
+
+    Pass one to :class:`~repro.api.Connection` (connection-wide) or to a
+    single ``execute_query`` call. ``paranoid=True`` re-validates the
+    graph after every rule firing; ``protect_rules=False`` disables the
+    per-firing snapshot (faster, but a raising rule then fails the whole
+    strategy and only the chain fallback applies).
+    """
+
+    def __init__(
+        self,
+        governor=None,
+        paranoid=False,
+        protect_rules=True,
+        fallback_chain=DEFAULT_FALLBACK_CHAIN,
+        fallback_on_exhaustion=False,
+        fault_plan=None,
+    ):
+        self.governor = governor if governor is not None else ResourceGovernor()
+        self.paranoid = paranoid
+        self.protect_rules = protect_rules
+        self.fallback_chain = tuple(fallback_chain)
+        self.fallback_on_exhaustion = fallback_on_exhaustion
+        self.fault_plan = fault_plan
+        self.quarantine = QuarantineRegistry()
+
+    def begin_query(self):
+        """Per-query reset: budgets restart, quarantine empties."""
+        self.governor.begin_query()
+        self.quarantine.clear()
+
+    def chain_for(self, strategy):
+        """The strategies to try, in order, starting at ``strategy``. A
+        strategy outside the declared chain (e.g. ``correlated``) has no
+        fallback: it runs alone."""
+        if strategy not in self.fallback_chain:
+            return (strategy,)
+        index = self.fallback_chain.index(strategy)
+        return self.fallback_chain[index:]
+
+    def rules_for(self, rules):
+        """Apply the fault plan's wrapping (test harness) to a rule list."""
+        if self.fault_plan is None:
+            return rules
+        return self.fault_plan.wrap_rules(rules)

@@ -1,0 +1,140 @@
+"""Per-query resource budgets, checked cooperatively by the pipeline.
+
+A :class:`ResourceGovernor` is handed to the rewrite engine, the fixpoint
+machinery and the evaluators; each checks its own budget at natural
+yield points (once per sweep, per round, per box materialisation) and
+raises :class:`~repro.errors.ResourceExhaustedError` with structured
+context when a limit trips. The historical hard-coded caps
+(``_MAX_SWEEPS = 200`` in the rewrite engine, ``_MAX_ROUNDS = 100000`` in
+the fixpoint loop) live on as the governor's defaults.
+
+Counters for cumulative budgets (rows, correlated invocations, the
+deadline clock) are per *query*: :meth:`begin_query` resets them, and
+:class:`~repro.api.Connection` calls it before every query so one
+governor instance can police a whole connection. Sweep and round budgets
+are local to each ``run_phase``/``run_fixpoint`` call — two independent
+recursive components each get the full round budget.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import ResourceExhaustedError
+
+#: Historical cap from ``rewrite/engine.py``.
+DEFAULT_MAX_REWRITE_SWEEPS = 200
+#: Historical cap from ``engine/recursion.py``.
+DEFAULT_MAX_FIXPOINT_ROUNDS = 100000
+
+
+class ResourceGovernor:
+    """Cooperative per-query budget checks.
+
+    ``None`` for any limit means "unlimited" — except the two historical
+    caps, which default to their pre-governor values so a runaway rewrite
+    or fixpoint is always stopped.
+    """
+
+    def __init__(
+        self,
+        deadline_seconds=None,
+        max_rewrite_sweeps=DEFAULT_MAX_REWRITE_SWEEPS,
+        max_fixpoint_rounds=DEFAULT_MAX_FIXPOINT_ROUNDS,
+        max_materialized_rows=None,
+        max_correlated_invocations=None,
+    ):
+        self.deadline_seconds = deadline_seconds
+        self.max_rewrite_sweeps = max_rewrite_sweeps
+        self.max_fixpoint_rounds = max_fixpoint_rounds
+        self.max_materialized_rows = max_materialized_rows
+        self.max_correlated_invocations = max_correlated_invocations
+        self.begin_query()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def begin_query(self):
+        """Reset cumulative counters and restart the deadline clock."""
+        self._started_at = time.perf_counter()
+        self.materialized_rows = 0
+        self.correlated_invocations = 0
+
+    def elapsed_seconds(self):
+        return time.perf_counter() - self._started_at
+
+    # -- raising -----------------------------------------------------------------
+
+    def _exhausted(self, limit, value, where, progress):
+        raise ResourceExhaustedError(
+            "%s exceeded %s=%s (%s)" % (where, limit, value, progress),
+            limit=limit,
+            where=where,
+            progress=progress,
+        )
+
+    # -- checks ------------------------------------------------------------------
+
+    def check_deadline(self, where):
+        """Cheap wall-clock check; called from every other check too."""
+        if self.deadline_seconds is None:
+            return
+        elapsed = self.elapsed_seconds()
+        if elapsed > self.deadline_seconds:
+            self._exhausted(
+                "deadline_seconds",
+                self.deadline_seconds,
+                where,
+                "%.3fs elapsed" % elapsed,
+            )
+
+    def check_rewrite_sweeps(self, sweeps, phase):
+        where = "rewrite phase %s" % phase
+        self.check_deadline(where)
+        if self.max_rewrite_sweeps is not None and sweeps > self.max_rewrite_sweeps:
+            self._exhausted(
+                "max_rewrite_sweeps",
+                self.max_rewrite_sweeps,
+                where,
+                "no fixpoint after %d sweeps" % (sweeps - 1),
+            )
+
+    def check_fixpoint_rounds(self, rounds, component):
+        """``component`` is the list of box names in the recursive SCC; it
+        is echoed into the error so the offending view is identifiable."""
+        where = "fixpoint over recursive component [%s]" % ", ".join(component)
+        self.check_deadline(where)
+        if self.max_fixpoint_rounds is not None and rounds > self.max_fixpoint_rounds:
+            self._exhausted(
+                "max_fixpoint_rounds",
+                self.max_fixpoint_rounds,
+                where,
+                "no convergence after %d rounds" % (rounds - 1),
+            )
+
+    def charge_rows(self, count, where):
+        self.check_deadline(where)
+        self.materialized_rows += count
+        if (
+            self.max_materialized_rows is not None
+            and self.materialized_rows > self.max_materialized_rows
+        ):
+            self._exhausted(
+                "max_materialized_rows",
+                self.max_materialized_rows,
+                where,
+                "%d rows materialized" % self.materialized_rows,
+            )
+
+    def charge_correlated(self, where):
+        self.check_deadline(where)
+        self.correlated_invocations += 1
+        if (
+            self.max_correlated_invocations is not None
+            and self.correlated_invocations > self.max_correlated_invocations
+        ):
+            self._exhausted(
+                "max_correlated_invocations",
+                self.max_correlated_invocations,
+                where,
+                "%d correlated invocations" % self.correlated_invocations,
+            )

@@ -3,13 +3,25 @@
 Mirrors the paper's description: "A cursor facility traverses the query
 blocks depth first ... and a forward chaining engine applies the rules,
 including the EMST rule, at each query block."
+
+Resilience: ``run_phase`` accepts a :class:`~repro.resilience.governor.
+ResourceGovernor` (sweep budget + deadline; a default one enforces the
+historical 200-sweep cap) and an optional
+:class:`~repro.resilience.fallback.ResiliencePolicy`. With a policy whose
+``protect_rules`` is set, every rule firing runs against a snapshot of
+the graph: a rule that raises — or, in paranoid mode, leaves the graph
+structurally invalid — is rolled back and quarantined for the rest of
+the query, and the phase continues without it.
 """
 
 from __future__ import annotations
 
-from repro.errors import RewriteError
+import time
+
+from repro.errors import ResourceExhaustedError
 from repro.rewrite.rule import RuleContext
 
+# Retained name for backward compatibility; the governor owns the default.
 _MAX_SWEEPS = 200
 
 
@@ -24,36 +36,96 @@ class RewriteEngine:
         self.rules.append(rule)
         self.rules.sort(key=lambda r: r.priority)
 
-    def run_phase(self, graph, phase, join_orders=None, context=None):
+    def run_phase(
+        self, graph, phase, join_orders=None, context=None, governor=None,
+        resilience=None,
+    ):
         """Run one rewrite phase to a fixpoint; returns the RuleContext
-        (with per-rule firing counts)."""
+        (with per-rule firing counts and timings)."""
+        from repro.resilience.governor import ResourceGovernor
+
         if context is None:
             context = RuleContext(graph, phase=phase, join_orders=join_orders)
         else:
             context.phase = phase
             if join_orders is not None:
                 context.join_orders.update(join_orders)
+        if governor is None:
+            governor = (
+                resilience.governor if resilience is not None
+                else ResourceGovernor()
+            )
+        quarantine = resilience.quarantine if resilience is not None else None
+        protect = resilience is not None and resilience.protect_rules
+        paranoid = resilience is not None and resilience.paranoid
         active = [rule for rule in self.rules if phase in rule.phases]
         sweeps = 0
         changed = True
         while changed:
             sweeps += 1
-            if sweeps > _MAX_SWEEPS:
-                raise RewriteError(
-                    "rewrite phase %d did not reach a fixpoint in %d sweeps"
-                    % (phase, _MAX_SWEEPS)
-                )
+            governor.check_rewrite_sweeps(sweeps, phase)
             changed = False
+            rolled_back = False
+            live = [
+                rule for rule in active
+                if quarantine is None or rule.name not in quarantine
+            ]
             # The cursor: depth-first over the current graph. The box list
             # is recomputed each sweep because rules mutate the graph.
             for box in graph.boxes():
-                for rule in active:
+                for rule in live:
                     if not rule.applies_to(box, context):
                         continue
-                    if rule.apply(box, context):
+                    fired = self._fire(
+                        rule, box, graph, context, protect, paranoid, quarantine
+                    )
+                    if fired is None:
+                        # Rolled back: every box/quantifier object was
+                        # replaced by the snapshot's, so the cursor state
+                        # is stale — restart the sweep from scratch.
+                        rolled_back = True
+                        break
+                    if fired:
                         context.record_firing(rule.name)
                         changed = True
+                if rolled_back:
+                    break
+            if rolled_back:
+                changed = True
         return context
+
+    def _fire(self, rule, box, graph, context, protect, paranoid, quarantine):
+        """Apply ``rule`` at ``box``; returns True/False from the rule, or
+        None when the firing failed and the graph was rolled back."""
+        if not protect:
+            started = time.perf_counter()
+            try:
+                return rule.apply(box, context)
+            finally:
+                context.record_time(rule.name, time.perf_counter() - started)
+
+        from repro.qgm.clone import clone_graph, restore_graph
+        from repro.qgm.validate import validate_graph
+
+        snapshot = clone_graph(graph)
+        started = time.perf_counter()
+        try:
+            fired = rule.apply(box, context)
+            if fired and paranoid:
+                validate_graph(graph)
+            return fired
+        except ResourceExhaustedError:
+            raise  # a blown budget is the query's fault, not the rule's
+        except Exception as exc:
+            restore_graph(graph, snapshot)
+            reason = "%s: %s" % (type(exc).__name__, exc)
+            context.record_rollback(rule.name)
+            context.record_quarantine(rule.name, reason)
+            if quarantine is not None:
+                quarantine.add(rule.name, reason, phase=context.phase)
+            return None
+        finally:
+            context.record_time(rule.name, time.perf_counter() - started)
 
 
 def default_rules(include_emst=False, emst_rule=None):

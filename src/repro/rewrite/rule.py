@@ -16,9 +16,37 @@ class RuleContext:
         self.phase = phase
         self.join_orders = dict(join_orders or {})
         self.firing_counts = {}
+        # Per-rule observability (resilience groundwork): cumulative
+        # wall-clock seconds spent in apply(), and how often a firing was
+        # rolled back / the rule quarantined.
+        self.rule_seconds = {}
+        self.rollback_counts = {}
+        self.quarantined = {}
 
     def record_firing(self, rule_name):
         self.firing_counts[rule_name] = self.firing_counts.get(rule_name, 0) + 1
+
+    def record_time(self, rule_name, seconds):
+        self.rule_seconds[rule_name] = (
+            self.rule_seconds.get(rule_name, 0.0) + seconds
+        )
+
+    def record_rollback(self, rule_name):
+        self.rollback_counts[rule_name] = (
+            self.rollback_counts.get(rule_name, 0) + 1
+        )
+
+    def record_quarantine(self, rule_name, reason):
+        self.quarantined.setdefault(rule_name, reason)
+
+    def observability(self):
+        """The per-rule counters as one plain dict (for outcome stats)."""
+        return {
+            "rule_firings": dict(self.firing_counts),
+            "rule_seconds": dict(self.rule_seconds),
+            "rule_rollbacks": dict(self.rollback_counts),
+            "rules_quarantined": dict(self.quarantined),
+        }
 
 
 class RewriteRule:

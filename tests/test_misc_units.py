@@ -4,7 +4,7 @@ budget, constant evaluation, plan descriptions."""
 import pytest
 
 from repro import Connection, Database
-from repro.errors import NotSupportedError, RewriteError
+from repro.errors import NotSupportedError, ResourceExhaustedError
 
 
 # -- ORDER BY helpers ---------------------------------------------------------
@@ -92,8 +92,9 @@ def test_rewrite_budget_guards_against_livelock():
     db = Database()
     db.create_table("t", ["a"], rows=[])
     graph = build_query_graph(parse_statement("SELECT a FROM t"), db.catalog)
-    with pytest.raises(RewriteError):
+    with pytest.raises(ResourceExhaustedError) as info:
         RewriteEngine([Livelock()]).run_phase(graph, 1)
+    assert info.value.limit == "max_rewrite_sweeps"
 
 
 # -- constant evaluation -----------------------------------------------------------------
