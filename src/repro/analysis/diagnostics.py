@@ -1,0 +1,215 @@
+"""Structured diagnostics for QGM static analysis.
+
+A :class:`Diagnostic` is one finding: a stable code (``QGM123``), a
+severity, a message, and a *location* — the box (always), plus optionally
+the quantifier and column involved. An :class:`AnalysisReport` is the
+ordered collection produced by one :class:`~repro.analysis.framework.
+Analyzer` run; unlike :func:`~repro.qgm.validate.validate_graph` it never
+raises, so a single run surfaces every problem in the graph.
+
+Diagnostic codes are allocated in blocks by pass:
+
+* ``QGM1xx`` — structural invariants (:mod:`repro.analysis.structural`)
+* ``QGM2xx`` — type inference/checking (:mod:`repro.analysis.typecheck`)
+* ``QGM3xx`` — dead code (:mod:`repro.analysis.deadcode`)
+* ``QGM4xx`` — magic/adornment well-formedness and stratification
+  (:mod:`repro.analysis.magic_checks`)
+
+``CODES`` is the authoritative registry: every emitted code must appear
+there (the framework enforces it), and ``docs/diagnostics.md`` documents
+each entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+class Severity:
+    """Diagnostic severities, ordered: ERROR > WARNING > INFO."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    _ORDER = {ERROR: 0, WARNING: 1, INFO: 2}
+
+    @classmethod
+    def rank(cls, severity: str) -> int:
+        return cls._ORDER.get(severity, 99)
+
+
+#: code -> one-line title. The single source of truth for which codes
+#: exist; ``docs/diagnostics.md`` and the tests cross-check against it.
+CODES: Dict[str, str] = {
+    # -- structural (QGM1xx) --------------------------------------------------
+    "QGM101": "box has an invalid distinct mode",
+    "QGM102": "quantifier has a wrong parent link",
+    "QGM103": "quantifier ranges over an unreachable box",
+    "QGM104": "invalid quantifier type",
+    "QGM105": "box has duplicate quantifier names",
+    "QGM106": "base box must not have quantifiers",
+    "QGM107": "base box lacks a schema",
+    "QGM108": "groupby box must have exactly one foreach quantifier",
+    "QGM109": "groupby box must not carry predicates",
+    "QGM110": "groupby output column lacks an expression",
+    "QGM111": "groupby output column is neither a group key nor an aggregate",
+    "QGM112": "set-op box must not carry predicates",
+    "QGM113": "set-op box has the wrong number of inputs",
+    "QGM114": "set-op box may only have foreach quantifiers",
+    "QGM115": "set-op input arity disagrees with the box's own column list",
+    "QGM116": "set-op columns are positional and must not carry expressions",
+    "QGM117": "outer-join box must have exactly two inputs",
+    "QGM118": "outer-join box may only have foreach quantifiers",
+    "QGM119": "outer-join output column lacks an expression",
+    "QGM120": "select output column lacks an expression",
+    "QGM121": "expression references a dangling quantifier",
+    "QGM122": "expression references a column its quantifier does not produce",
+    "QGM123": "aggregate found outside a groupby box",
+    "QGM199": "structural check crashed on a malformed box",
+    # -- types (QGM2xx) -------------------------------------------------------
+    "QGM201": "comparison of incompatible types",
+    "QGM202": "numeric aggregate over a non-numeric column",
+    "QGM203": "set-op branches have mismatched column types",
+    "QGM204": "arithmetic on a non-numeric operand",
+    "QGM205": "LIKE over a non-string operand",
+    # -- dead code (QGM3xx) ---------------------------------------------------
+    "QGM301": "box is never referenced by any quantifier",
+    "QGM302": "output column is never referenced by any consumer",
+    # -- magic / stratification (QGM4xx) --------------------------------------
+    "QGM401": "adornment length disagrees with the box's column count",
+    "QGM402": "adornment contains an invalid letter",
+    "QGM403": "magic box neither enforces DISTINCT nor is provably duplicate-free",
+    "QGM404": "magic quantifier inserted into an NMQ box",
+    "QGM405": "box kind has no registered EMST operation properties",
+    "QGM406": "aggregate (groupby box) inside a recursive component",
+    "QGM407": "anti-join edge inside a recursive component",
+}
+
+
+@dataclass
+class Diagnostic:
+    """One analysis finding, locatable down to box/quantifier/column."""
+
+    code: str
+    severity: str
+    message: str
+    box: Optional[str] = None
+    box_id: Optional[int] = None
+    quantifier: Optional[str] = None
+    column: Optional[str] = None
+    hint: Optional[str] = None
+    pass_name: Optional[str] = None
+    #: The rewrite rule this diagnostic is attributed to (set by the
+    #: soundness checker when a rule firing introduced it).
+    rule: Optional[str] = None
+
+    @property
+    def location(self) -> str:
+        """Human-readable location, always naming the box."""
+        if self.box is None:
+            return "<graph>"
+        where = "box %r" % self.box
+        if self.box_id is not None and self.box_id >= 0:
+            where += " #%d" % self.box_id
+        if self.quantifier is not None:
+            where += " quantifier %r" % self.quantifier
+        if self.column is not None:
+            where += " column %r" % self.column
+        return where
+
+    def key(self) -> Tuple:
+        """Identity used by the soundness checker to diff reports across
+        rule firings. Box *names* are stable under rollback (ids are
+        preserved by the clone machinery) so they anchor the diff."""
+        return (self.code, self.box, self.quantifier, self.column, self.message)
+
+    def render(self) -> str:
+        text = "%s %s [%s] %s" % (self.severity, self.code, self.location, self.message)
+        if self.hint:
+            text += " (hint: %s)" % self.hint
+        return text
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+@dataclass
+class AnalysisReport:
+    """Every diagnostic one analyzer run produced, in emission order."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: pass name -> wall-clock seconds, for observability.
+    pass_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, diagnostic: Diagnostic) -> Diagnostic:
+        self.diagnostics.append(diagnostic)
+        return diagnostic
+
+    def extend(self, diagnostics) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __bool__(self) -> bool:
+        return bool(self.diagnostics)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == Severity.WARNING]
+
+    @property
+    def infos(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == Severity.INFO]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity == Severity.ERROR for d in self.diagnostics)
+
+    def by_code(self, code: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    def codes(self) -> List[str]:
+        """Distinct codes present, sorted."""
+        return sorted({d.code for d in self.diagnostics})
+
+    def sorted(self) -> List[Diagnostic]:
+        """Diagnostics ordered by severity, then code, then location."""
+        return sorted(
+            self.diagnostics,
+            key=lambda d: (
+                Severity.rank(d.severity),
+                d.code,
+                d.box_id if d.box_id is not None else -1,
+                d.box or "",
+            ),
+        )
+
+    def summary(self) -> str:
+        return "%d error(s), %d warning(s), %d info" % (
+            len(self.errors),
+            len(self.warnings),
+            len(self.infos),
+        )
+
+    def counts(self) -> Dict[str, int]:
+        """Severity -> count, for stats dictionaries."""
+        return {
+            Severity.ERROR: len(self.errors),
+            Severity.WARNING: len(self.warnings),
+            Severity.INFO: len(self.infos),
+        }
+
+    def render(self) -> str:
+        lines = [d.render() for d in self.sorted()]
+        lines.append(self.summary())
+        return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""The rewrite-soundness checker: attribute every new diagnostic to the
+rule firing that introduced it.
+
+Paranoid mode used to call ``validate_graph`` after each rule firing and
+report "the graph is broken"; this checker instead diffs the *analysis
+report* before and after each firing, so the resilience layer learns
+**which rule** introduced **which diagnostic** — and only quarantines on
+new *errors* (a rule is free to add or remove warnings mid-pipeline).
+
+The checker is created once per rewrite phase (baseline = the incoming
+graph's diagnostics, so pre-existing problems are never attributed to a
+rule), consulted after every successful firing, and its attribution log
+flows into :meth:`~repro.rewrite.rule.RuleContext.observability`, hence
+into ``ExecutionOutcome.stats["soundness_violations"]`` and ``explain``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.framework import Analyzer, soundness_passes
+from repro.errors import QgmError
+
+
+class SoundnessChecker:
+    """Diffs pre/post-firing analysis results for one rewrite run."""
+
+    def __init__(self, graph, analyzer: Optional[Analyzer] = None):
+        self.analyzer = analyzer if analyzer is not None else Analyzer(
+            soundness_passes()
+        )
+        self.baseline: Set[Tuple] = self._keys(self.analyzer.analyze(graph))
+        #: rule name -> list of diagnostics that rule introduced (errors
+        #: trigger rollback + quarantine; warnings are recorded only).
+        self.attributed: Dict[str, List[Diagnostic]] = {}
+
+    @staticmethod
+    def _keys(report) -> Set[Tuple]:
+        return {diagnostic.key() for diagnostic in report}
+
+    def after_firing(self, graph, rule_name: str, context=None) -> List[Diagnostic]:
+        """Re-analyze ``graph`` after ``rule_name`` fired.
+
+        New warnings/infos are absorbed into the baseline and attributed
+        silently. New *errors* are attributed, recorded on ``context``,
+        and raised as :class:`~repro.errors.QgmError` so the engine rolls
+        the firing back and quarantines the rule. Returns the list of new
+        diagnostics (when it does not raise).
+        """
+        report = self.analyzer.analyze(graph)
+        fresh = [d for d in report if d.key() not in self.baseline]
+        if not fresh:
+            self.baseline = self._keys(report)
+            return []
+        for diagnostic in fresh:
+            diagnostic.rule = rule_name
+        self.attributed.setdefault(rule_name, []).extend(fresh)
+        new_errors = [d for d in fresh if d.severity == Severity.ERROR]
+        if context is not None:
+            context.record_soundness(
+                rule_name, [d.code for d in (new_errors or fresh)]
+            )
+        if new_errors:
+            summary = "; ".join(
+                "%s at %s: %s" % (d.code, d.location, d.message)
+                for d in new_errors[:3]
+            )
+            if len(new_errors) > 3:
+                summary += "; ... (%d total)" % len(new_errors)
+            raise QgmError(
+                "rule %r introduced %d new error diagnostic(s): %s"
+                % (rule_name, len(new_errors), summary),
+                context={
+                    "rule": rule_name,
+                    "codes": [d.code for d in new_errors],
+                },
+            )
+        # Warnings only: keep them out of the next firing's diff.
+        self.baseline = self._keys(report)
+        return fresh

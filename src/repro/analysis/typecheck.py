@@ -1,0 +1,308 @@
+"""Type inference and checking over QGM expressions (codes ``QGM2xx``).
+
+The engine itself is dynamically typed — catalog ``type_name`` s are
+advisory — but when the DDL *does* declare types, this pass propagates
+them from base-table schemas through select, groupby, outer-join and
+set-operation boxes and flags expressions that would misbehave at run
+time: comparisons of incompatible types, ``SUM``/``AVG`` over non-numeric
+columns, arithmetic on strings, and set-op branches whose column types
+disagree.
+
+The lattice is deliberately small: ``INT``, ``FLOAT``, ``STR``, ``BOOL``
+and the unknown ``ANY``. ``ANY`` is compatible with everything, so
+untyped schemas (the common case for programmatically built tables) stay
+silent. Inferred per-box column types are published in
+``context.facts["column_types"]`` (``id(box) -> [type, ...]``) for other
+passes and API consumers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.diagnostics import Severity
+from repro.analysis.framework import AnalysisContext, AnalysisPass, AnalysisReport
+from repro.qgm import expr as qe
+from repro.qgm.model import BoxKind
+
+INT = "INT"
+FLOAT = "FLOAT"
+STR = "STR"
+BOOL = "BOOL"
+ANY = "ANY"
+
+NUMERIC = frozenset({INT, FLOAT})
+
+_NAME_MAP = {
+    "INT": INT,
+    "INTEGER": INT,
+    "SMALLINT": INT,
+    "BIGINT": INT,
+    "FLOAT": FLOAT,
+    "REAL": FLOAT,
+    "DOUBLE": FLOAT,
+    "DECIMAL": FLOAT,
+    "NUMERIC": FLOAT,
+    "STR": STR,
+    "STRING": STR,
+    "TEXT": STR,
+    "CHAR": STR,
+    "VARCHAR": STR,
+    "BOOL": BOOL,
+    "BOOLEAN": BOOL,
+}
+
+_ARITHMETIC_OPS = frozenset({"+", "-", "*", "/", "%"})
+_NUMERIC_AGGREGATES = frozenset({"SUM", "AVG"})
+
+
+def normalize_type(type_name: Optional[str]) -> str:
+    """Map a declared SQL type name onto the analysis lattice."""
+    if not type_name:
+        return ANY
+    return _NAME_MAP.get(type_name.upper(), ANY)
+
+
+def join_types(left: str, right: str) -> str:
+    """Least upper bound of two lattice types (conflicts widen to ANY)."""
+    if left == right:
+        return left
+    if left in NUMERIC and right in NUMERIC:
+        return FLOAT
+    return ANY
+
+
+def compatible(left: str, right: str) -> bool:
+    """True when values of the two types may meet in a comparison."""
+    if left == ANY or right == ANY:
+        return True
+    if left == right:
+        return True
+    return left in NUMERIC and right in NUMERIC
+
+
+def literal_type(value: object) -> str:
+    if isinstance(value, bool):  # bool before int: bool is an int subclass
+        return BOOL
+    if isinstance(value, int):
+        return INT
+    if isinstance(value, float):
+        return FLOAT
+    if isinstance(value, str):
+        return STR
+    return ANY
+
+
+class TypeCheckPass(AnalysisPass):
+    """Infer column types bottom-up, then check every expression."""
+
+    name = "typecheck"
+
+    def run(self, context: AnalysisContext, report: AnalysisReport) -> None:
+        types = self._infer_column_types(context)
+        context.facts["column_types"] = types
+        for box in context.boxes:
+            if box.kind == BoxKind.BASE:
+                continue
+            for expression in box.all_expressions():
+                self._check_expression(box, expression, types, report)
+            if box.kind in (BoxKind.UNION, BoxKind.INTERSECT, BoxKind.EXCEPT):
+                self._check_setop_types(box, types, report)
+
+    # -- inference ------------------------------------------------------------
+
+    def _infer_column_types(self, context: AnalysisContext) -> Dict[int, List[str]]:
+        """``id(box) -> [lattice type per output column]`` for every
+        reachable box, producers before consumers; recursive components
+        iterate twice so base-branch types flow around the cycle."""
+        types: Dict[int, List[str]] = {}
+        components, _ = context.components
+        for component in components:
+            if len(component) == 1 and not any(
+                child is component[0] for child in component[0].referenced_boxes()
+            ):
+                box = component[0]
+                types[id(box)] = self._box_types(box, types)
+                continue
+            # Recursive SCC: seed with ANY, then refine to a (cheap) fixpoint.
+            for box in component:
+                types[id(box)] = [ANY] * len(box.columns)
+            for _ in range(2):
+                for box in component:
+                    types[id(box)] = self._box_types(box, types)
+        return types
+
+    def _box_types(self, box, types: Dict[int, List[str]]) -> List[str]:
+        if box.kind == BoxKind.BASE:
+            if box.schema is None:
+                return [ANY] * len(box.columns)
+            declared = {
+                column.name.lower(): normalize_type(column.type_name)
+                for column in box.schema.columns
+            }
+            return [declared.get(c.name.lower(), ANY) for c in box.columns]
+        if box.kind in (BoxKind.UNION, BoxKind.INTERSECT, BoxKind.EXCEPT):
+            out = []
+            for index in range(len(box.columns)):
+                merged = None
+                for quantifier in box.quantifiers:
+                    branch = types.get(id(quantifier.input_box))
+                    if branch is None or index >= len(branch):
+                        merged = ANY
+                        break
+                    merged = (
+                        branch[index]
+                        if merged is None
+                        else join_types(merged, branch[index])
+                    )
+                out.append(merged if merged is not None else ANY)
+            return out
+        return [
+            self._expr_type(column.expr, types) if column.expr is not None else ANY
+            for column in box.columns
+        ]
+
+    def _expr_type(self, expr, types: Dict[int, List[str]]) -> str:
+        if isinstance(expr, qe.QLiteral):
+            return literal_type(expr.value)
+        if isinstance(expr, qe.QColRef):
+            produced = types.get(id(expr.quantifier.input_box))
+            if produced is None:
+                return ANY
+            columns = expr.quantifier.input_box.columns
+            lowered = expr.column.lower()
+            for index, column in enumerate(columns):
+                if column.name.lower() == lowered and index < len(produced):
+                    return produced[index]
+            return ANY
+        if isinstance(expr, qe.QUnary):
+            if expr.op == "NOT":
+                return BOOL
+            operand = self._expr_type(expr.operand, types)
+            return operand if operand in NUMERIC else ANY
+        if isinstance(expr, qe.QBinary):
+            if expr.op in _ARITHMETIC_OPS:
+                return join_types(
+                    self._expr_type(expr.left, types),
+                    self._expr_type(expr.right, types),
+                )
+            if expr.op == "||":
+                return STR
+            return BOOL  # comparisons, AND, OR
+        if isinstance(expr, qe.QAggregate):
+            if expr.func == "COUNT":
+                return INT
+            if expr.func == "AVG":
+                return FLOAT
+            if expr.arg is not None:
+                arg = self._expr_type(expr.arg, types)
+                if expr.func == "SUM":
+                    return arg if arg in NUMERIC else ANY
+                if expr.func in ("MIN", "MAX"):
+                    return arg
+            return ANY
+        if isinstance(expr, (qe.QIsNull, qe.QLike)):
+            return BOOL
+        if isinstance(expr, qe.QCase):
+            merged = None
+            values = [value for _, value in expr.branches]
+            if expr.default is not None:
+                values.append(expr.default)
+            for value in values:
+                value_type = self._expr_type(value, types)
+                merged = (
+                    value_type if merged is None else join_types(merged, value_type)
+                )
+            return merged if merged is not None else ANY
+        return ANY
+
+    # -- checks ---------------------------------------------------------------
+
+    def _check_expression(self, box, expression, types, report) -> None:
+        for node in qe.walk(expression):
+            if isinstance(node, qe.QBinary) and qe.is_comparison(node):
+                left = self._expr_type(node.left, types)
+                right = self._expr_type(node.right, types)
+                if not compatible(left, right):
+                    self.emit(
+                        report,
+                        "QGM201",
+                        Severity.ERROR,
+                        "comparison of incompatible types %s and %s: %s"
+                        % (left, right, node),
+                        box=box,
+                        hint="cast one side or fix the predicate",
+                    )
+            elif isinstance(node, qe.QBinary) and node.op in _ARITHMETIC_OPS:
+                for operand in (node.left, node.right):
+                    operand_type = self._expr_type(operand, types)
+                    if operand_type == STR:
+                        self.emit(
+                            report,
+                            "QGM204",
+                            Severity.ERROR,
+                            "arithmetic %r on non-numeric operand %s (type %s)"
+                            % (node.op, operand, operand_type),
+                            box=box,
+                            hint="use || for string concatenation",
+                        )
+            elif isinstance(node, qe.QLike):
+                for operand in (node.operand, node.pattern):
+                    operand_type = self._expr_type(operand, types)
+                    if operand_type in (INT, FLOAT, BOOL):
+                        self.emit(
+                            report,
+                            "QGM205",
+                            Severity.WARNING,
+                            "LIKE over non-string operand %s (type %s)"
+                            % (operand, operand_type),
+                            box=box,
+                        )
+            elif isinstance(node, qe.QAggregate):
+                if node.func in _NUMERIC_AGGREGATES and node.arg is not None:
+                    arg_type = self._expr_type(node.arg, types)
+                    if arg_type in (STR, BOOL):
+                        self.emit(
+                            report,
+                            "QGM202",
+                            Severity.ERROR,
+                            "%s over non-numeric argument %s (type %s)"
+                            % (node.func, node.arg, arg_type),
+                            box=box,
+                            hint="SUM/AVG require numeric input",
+                        )
+
+    def _check_setop_types(self, box, types, report) -> None:
+        for index, column in enumerate(box.columns):
+            seen = []  # (definite type, quantifier name)
+            for quantifier in box.quantifiers:
+                branch = types.get(id(quantifier.input_box))
+                if branch is None or index >= len(branch):
+                    continue
+                branch_type = branch[index]
+                if branch_type == ANY:
+                    continue
+                for other_type, other_name in seen:
+                    if not compatible(branch_type, other_type):
+                        self.emit(
+                            report,
+                            "QGM203",
+                            Severity.ERROR,
+                            "%s box %r column %r has mismatched branch types: "
+                            "%r is %s but %r is %s"
+                            % (
+                                box.kind,
+                                box.name,
+                                column.name,
+                                other_name,
+                                other_type,
+                                quantifier.name,
+                                branch_type,
+                            ),
+                            box=box,
+                            quantifier=quantifier.name,
+                            column=column.name,
+                        )
+                        break
+                else:
+                    seen.append((branch_type, quantifier.name))

@@ -62,6 +62,9 @@ def _describe_rules(context):
             line += ", rollbacks %d" % rollbacks
         if name in context.quarantined:
             line += ", quarantined (%s)" % context.quarantined[name]
+        violations = getattr(context, "soundness_violations", {}).get(name)
+        if violations:
+            line += ", soundness violations [%s]" % ", ".join(violations)
         lines.append(line)
     return lines
 
@@ -99,6 +102,9 @@ class ExecutionOutcome:
     stats: Dict[str, int] = field(default_factory=dict)
     #: A FallbackReport when the query ran under a ResiliencePolicy.
     resilience: Optional[object] = None
+    #: An :class:`~repro.analysis.AnalysisReport` over the executed graph
+    #: when the query ran with ``analyze=True``.
+    diagnostics: Optional[object] = None
 
     @property
     def rows(self):
@@ -381,8 +387,15 @@ class Connection:
         """Parse and execute a single query; returns the Result."""
         return self.explain_execute(sql_text, strategy=strategy).result
 
-    def explain_execute(self, sql_text, strategy="emst", resilience=None):
-        """Parse and execute a single query; returns an ExecutionOutcome."""
+    def explain_execute(self, sql_text, strategy="emst", resilience=None,
+                        analyze=False):
+        """Parse and execute a single query; returns an ExecutionOutcome.
+
+        ``analyze=True`` additionally runs the full static-analysis suite
+        (:func:`repro.analysis.analyze_graph`) over the graph that was
+        executed; the report lands on ``outcome.diagnostics`` and its
+        severity counts in ``outcome.stats["analysis"]``.
+        """
         script = parse_script(sql_text)
         queries = script.queries
         if len(queries) != 1:
@@ -391,7 +404,8 @@ class Connection:
             self.database.catalog.add_view(statement)
         try:
             return self.execute_query(
-                queries[0], strategy=strategy, resilience=resilience
+                queries[0], strategy=strategy, resilience=resilience,
+                analyze=analyze,
             )
         finally:
             for statement in script.views:
@@ -427,16 +441,19 @@ class Connection:
             time.perf_counter() - started,
         )
 
-    def execute_query(self, query, strategy="emst", resilience=None):
+    def execute_query(self, query, strategy="emst", resilience=None,
+                      analyze=False):
         resilience = resilience if resilience is not None else self.resilience
         if resilience is None:
-            return self._execute_once(query, strategy, None)
+            return self._execute_once(query, strategy, None, analyze=analyze)
         resilience.begin_query()
         attempts = []
         last_error = None
         for candidate in resilience.chain_for(strategy):
             try:
-                outcome = self._execute_once(query, candidate, resilience)
+                outcome = self._execute_once(
+                    query, candidate, resilience, analyze=analyze
+                )
             except Exception as exc:
                 # Fail soft on *anything* a strategy threw — a corrupted
                 # graph can surface as an arbitrary exception far from the
@@ -462,12 +479,17 @@ class Connection:
             return outcome
         raise last_error
 
-    def _execute_once(self, query, strategy, resilience):
+    def _execute_once(self, query, strategy, resilience, analyze=False):
         """One prepare + execute under one strategy (no fallback)."""
         graph, plan, heuristic, rewrite_seconds = self.prepare(
             query, strategy, resilience=resilience
         )
         validate_graph(graph)
+        report = None
+        if analyze:
+            from repro.analysis import analyze_graph
+
+            report = analyze_graph(graph, catalog=self.database.catalog)
         join_orders = plan.join_orders if plan is not None else None
         governor = resilience.governor if resilience is not None else None
         fault_plan = resilience.fault_plan if resilience is not None else None
@@ -493,6 +515,8 @@ class Connection:
         stats = evaluator.stats.as_dict()
         if heuristic is not None and heuristic.context is not None:
             stats.update(heuristic.context.observability())
+        if report is not None:
+            stats["analysis"] = report.counts()
         return ExecutionOutcome(
             result=result,
             strategy=strategy,
@@ -502,6 +526,7 @@ class Connection:
             elapsed_seconds=elapsed,
             rewrite_seconds=rewrite_seconds,
             stats=stats,
+            diagnostics=report,
         )
 
     def explain(self, sql_text, strategy="emst"):

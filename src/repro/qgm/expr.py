@@ -13,13 +13,27 @@ rarely appear; :func:`conjuncts` flattens them when they do.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+if TYPE_CHECKING:
+    # Imported for annotations only: model.py imports this module at
+    # runtime, so the reverse import must stay type-checking-only.
+    from repro.qgm.model import Quantifier
 
 
 class QExpr:
     """Base class for QGM expressions."""
 
-    def children(self):
+    def children(self) -> Tuple["QExpr", ...]:
         return ()
 
 
@@ -41,7 +55,7 @@ class QLiteral(QExpr):
 class QColRef(QExpr):
     """A resolved reference to column ``column`` of ``quantifier``."""
 
-    quantifier: object  # Quantifier; typed loosely to avoid a cycle
+    quantifier: "Quantifier"
     column: str
 
     def __str__(self):
@@ -173,7 +187,7 @@ class QCase(QExpr):
 # ---------------------------------------------------------------------------
 
 
-def walk(expr):
+def walk(expr: QExpr) -> Iterator[QExpr]:
     """Yield ``expr`` and all sub-expressions depth-first."""
     yield expr
     for child in expr.children():
@@ -181,17 +195,17 @@ def walk(expr):
             yield node
 
 
-def column_refs(expr):
+def column_refs(expr: QExpr) -> List[QColRef]:
     """Return the list of :class:`QColRef` nodes inside ``expr``."""
     return [node for node in walk(expr) if isinstance(node, QColRef)]
 
 
-def referenced_quantifiers(expr):
+def referenced_quantifiers(expr: QExpr) -> Set["Quantifier"]:
     """Return the set of quantifiers referenced by ``expr``."""
     return {ref.quantifier for ref in column_refs(expr)}
 
 
-def map_expr(expr, fn):
+def map_expr(expr: QExpr, fn: Callable[[QExpr], QExpr]) -> QExpr:
     """Rebuild ``expr`` bottom-up, replacing each node by ``fn(node)``.
 
     ``fn`` receives a node whose children have already been mapped; if it
@@ -238,7 +252,9 @@ def map_expr(expr, fn):
     raise TypeError("unknown QGM expression node %r" % type(expr).__name__)
 
 
-def substitute_refs(expr, mapping):
+def substitute_refs(
+    expr: QExpr, mapping: Callable[[QColRef], Optional[QExpr]]
+) -> QExpr:
     """Replace column references according to ``mapping``.
 
     ``mapping`` is a callable taking a :class:`QColRef` and returning either
@@ -255,7 +271,9 @@ def substitute_refs(expr, mapping):
     return map_expr(expr, visit)
 
 
-def remap_quantifier(expr, old_to_new):
+def remap_quantifier(
+    expr: QExpr, old_to_new: Dict["Quantifier", "Quantifier"]
+) -> QExpr:
     """Re-point column refs from old quantifiers to new ones (same columns).
 
     ``old_to_new`` maps quantifier → quantifier. Refs to quantifiers not in
@@ -271,14 +289,14 @@ def remap_quantifier(expr, old_to_new):
     return substitute_refs(expr, mapping)
 
 
-def conjuncts(expr):
+def conjuncts(expr: QExpr) -> List[QExpr]:
     """Flatten an expression into its top-level AND conjuncts."""
     if isinstance(expr, QBinary) and expr.op == "AND":
         return conjuncts(expr.left) + conjuncts(expr.right)
     return [expr]
 
 
-def is_simple_equality(expr):
+def is_simple_equality(expr: QExpr) -> bool:
     """True when ``expr`` is ``a = b`` with both sides plain column refs."""
     return (
         isinstance(expr, QBinary)
@@ -288,7 +306,7 @@ def is_simple_equality(expr):
     )
 
 
-def equality_sides(expr):
+def equality_sides(expr: QExpr) -> Optional[Tuple[QColRef, QColRef]]:
     """For ``a = b`` equality over column refs, return (left_ref, right_ref)."""
     if not is_simple_equality(expr):
         return None
@@ -298,12 +316,12 @@ def equality_sides(expr):
 _COMPARISON_OPS = frozenset({"=", "<>", "<", "<=", ">", ">="})
 
 
-def is_comparison(expr):
+def is_comparison(expr: QExpr) -> bool:
     """True when ``expr`` is a binary comparison node."""
     return isinstance(expr, QBinary) and expr.op in _COMPARISON_OPS
 
 
-def expr_equal(left, right):
+def expr_equal(left: QExpr, right: QExpr) -> bool:
     """Structural equality of two QGM expressions.
 
     Column references compare by quantifier *identity* plus column name.

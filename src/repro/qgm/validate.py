@@ -3,157 +3,38 @@
 ``validate_graph`` raises :class:`~repro.errors.QgmError` on the first
 violation. The rewrite tests call it after every rule application so a rule
 that corrupts the graph fails loudly.
+
+The checks themselves live in :class:`repro.analysis.structural.
+StructuralPass` (codes ``QGM1xx``); this module is the thin raise-on-first-
+error wrapper kept for the resilience layer and every existing caller. Use
+:func:`repro.analysis.analyze_graph` instead when you want *all* problems
+reported at once.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.errors import QgmError
-from repro.qgm import expr as qe
-from repro.qgm.model import BoxKind, DistinctMode, QuantifierType
 
-_VALID_DISTINCT = {DistinctMode.ENFORCE, DistinctMode.PRESERVE, DistinctMode.PERMIT}
+if TYPE_CHECKING:
+    from repro.qgm.model import QueryGraph
 
 
-def validate_graph(graph):
-    """Check structural invariants of every reachable box."""
-    boxes = graph.boxes()
-    box_ids = {id(box) for box in boxes}
-    all_quantifiers = set()
-    for box in boxes:
-        for quantifier in box.quantifiers:
-            all_quantifiers.add(quantifier)
+def validate_graph(graph: "QueryGraph") -> bool:
+    """Check structural invariants of every reachable box.
 
-    for box in boxes:
-        _validate_box(box, box_ids, all_quantifiers)
+    Raises :class:`QgmError` carrying the first error's message (the
+    historical fail-fast contract); the diagnostic code is available in
+    the error's ``context``.
+    """
+    from repro.analysis.framework import Analyzer
+    from repro.analysis.structural import StructuralPass
+
+    report = Analyzer([StructuralPass()]).analyze(graph)
+    for diagnostic in report:
+        raise QgmError(
+            diagnostic.message,
+            context={"code": diagnostic.code, "location": diagnostic.location},
+        )
     return True
-
-
-def _validate_box(box, box_ids, all_quantifiers):
-    if box.distinct not in _VALID_DISTINCT:
-        raise QgmError("box %r has invalid distinct mode %r" % (box.name, box.distinct))
-
-    for quantifier in box.quantifiers:
-        if quantifier.parent_box is not box:
-            raise QgmError(
-                "quantifier %r of box %r has wrong parent link"
-                % (quantifier.name, box.name)
-            )
-        if id(quantifier.input_box) not in box_ids:
-            raise QgmError(
-                "quantifier %r of box %r ranges over an unreachable box"
-                % (quantifier.name, box.name)
-            )
-        if quantifier.qtype not in (
-            QuantifierType.FOREACH,
-            QuantifierType.EXISTENTIAL,
-            QuantifierType.ANTI,
-            QuantifierType.SCALAR,
-        ):
-            raise QgmError("invalid quantifier type %r" % quantifier.qtype)
-
-    names = [q.name for q in box.quantifiers]
-    if len(names) != len(set(names)):
-        raise QgmError("box %r has duplicate quantifier names" % box.name)
-
-    if box.kind == BoxKind.BASE:
-        if box.quantifiers:
-            raise QgmError("base box %r must not have quantifiers" % box.name)
-        if box.schema is None:
-            raise QgmError("base box %r lacks a schema" % box.name)
-        return
-
-    if box.kind == BoxKind.GROUPBY:
-        foreach = box.foreach_quantifiers()
-        if len(foreach) != 1 or len(box.quantifiers) != 1:
-            raise QgmError(
-                "groupby box %r must have exactly one foreach quantifier" % box.name
-            )
-        if box.predicates:
-            raise QgmError("groupby box %r must not carry predicates" % box.name)
-        for column in box.columns:
-            if column.expr is None:
-                raise QgmError(
-                    "groupby box %r column %r lacks an expression"
-                    % (box.name, column.name)
-                )
-            if not isinstance(column.expr, qe.QAggregate):
-                if not _is_group_key(box, column.expr):
-                    raise QgmError(
-                        "groupby box %r column %r is neither a group key nor "
-                        "an aggregate" % (box.name, column.name)
-                    )
-    elif box.kind in (BoxKind.UNION, BoxKind.INTERSECT, BoxKind.EXCEPT):
-        if box.predicates:
-            raise QgmError("set-op box %r must not carry predicates" % box.name)
-        arity = len(box.columns)
-        if box.kind in (BoxKind.INTERSECT, BoxKind.EXCEPT) and len(box.quantifiers) != 2:
-            raise QgmError("%s box %r must have two inputs" % (box.kind, box.name))
-        if box.kind == BoxKind.UNION and len(box.quantifiers) < 1:
-            raise QgmError("union box %r must have at least one input" % box.name)
-        for quantifier in box.quantifiers:
-            if quantifier.qtype != QuantifierType.FOREACH:
-                raise QgmError(
-                    "set-op box %r may only have foreach quantifiers" % box.name
-                )
-            if len(quantifier.input_box.columns) != arity:
-                raise QgmError(
-                    "set-op box %r input %r has mismatched arity"
-                    % (box.name, quantifier.name)
-                )
-        for column in box.columns:
-            if column.expr is not None:
-                raise QgmError(
-                    "set-op box %r columns are positional (no expressions)" % box.name
-                )
-    elif box.kind == BoxKind.OUTERJOIN:
-        if len(box.quantifiers) != 2:
-            raise QgmError("outer-join box %r must have two inputs" % box.name)
-        for quantifier in box.quantifiers:
-            if quantifier.qtype != QuantifierType.FOREACH:
-                raise QgmError(
-                    "outer-join box %r may only have foreach quantifiers"
-                    % box.name
-                )
-        for column in box.columns:
-            if column.expr is None:
-                raise QgmError(
-                    "outer-join box %r column %r lacks an expression"
-                    % (box.name, column.name)
-                )
-    elif box.kind == BoxKind.SELECT:
-        for column in box.columns:
-            if column.expr is None:
-                raise QgmError(
-                    "select box %r column %r lacks an expression"
-                    % (box.name, column.name)
-                )
-
-    # Expression sanity: every referenced quantifier exists somewhere in the
-    # graph, local references name existing columns, and aggregates only
-    # appear in groupby output columns.
-    local = box.local_quantifier_set()
-    for expression in box.all_expressions():
-        for node in qe.walk(expression):
-            if isinstance(node, qe.QColRef):
-                if node.quantifier not in all_quantifiers:
-                    raise QgmError(
-                        "box %r references a dangling quantifier %r"
-                        % (box.name, node.quantifier.name)
-                    )
-                # Checked for *every* reference, local or correlated: a
-                # correlated reference to a column its quantifier's input
-                # box does not produce is just as broken (gap found while
-                # wiring the resilience layer's paranoid mode).
-                if not node.quantifier.input_box.has_column(node.column):
-                    raise QgmError(
-                        "box %r references missing column %s.%s"
-                        % (box.name, node.quantifier.name, node.column)
-                    )
-            if isinstance(node, qe.QAggregate) and box.kind != BoxKind.GROUPBY:
-                raise QgmError(
-                    "aggregate found outside a groupby box (in %r)" % box.name
-                )
-
-
-def _is_group_key(box, expression):
-    return any(qe.expr_equal(expression, key) for key in box.group_keys)

@@ -98,10 +98,15 @@ class ResiliencePolicy:
     """Bundles everything the pipeline needs to fail soft.
 
     Pass one to :class:`~repro.api.Connection` (connection-wide) or to a
-    single ``execute_query`` call. ``paranoid=True`` re-validates the
-    graph after every rule firing; ``protect_rules=False`` disables the
-    per-firing snapshot (faster, but a raising rule then fails the whole
-    strategy and only the chain fallback applies).
+    single ``execute_query`` call. ``paranoid=True`` re-analyzes the graph
+    after every rule firing through the rewrite-soundness checker
+    (:class:`~repro.analysis.soundness.SoundnessChecker`): new *error*
+    diagnostics are attributed to the firing rule, rolled back and the
+    rule quarantined. ``soundness=False`` drops back to the bare
+    fail-fast ``validate_graph`` (no attribution, structural checks
+    only). ``protect_rules=False`` disables the per-firing snapshot
+    (faster, but a raising rule then fails the whole strategy and only
+    the chain fallback applies).
     """
 
     def __init__(
@@ -112,9 +117,11 @@ class ResiliencePolicy:
         fallback_chain=DEFAULT_FALLBACK_CHAIN,
         fallback_on_exhaustion=False,
         fault_plan=None,
+        soundness=True,
     ):
         self.governor = governor if governor is not None else ResourceGovernor()
         self.paranoid = paranoid
+        self.soundness = soundness
         self.protect_rules = protect_rules
         self.fallback_chain = tuple(fallback_chain)
         self.fallback_on_exhaustion = fallback_on_exhaustion

@@ -58,6 +58,14 @@ class RewriteEngine:
         quarantine = resilience.quarantine if resilience is not None else None
         protect = resilience is not None and resilience.protect_rules
         paranoid = resilience is not None and resilience.paranoid
+        checker = None
+        if protect and paranoid and getattr(resilience, "soundness", True):
+            # Paranoid mode runs the rewrite-soundness checker: the phase's
+            # incoming diagnostics are the baseline, and every new *error*
+            # after a firing is attributed to the rule and quarantines it.
+            from repro.analysis.soundness import SoundnessChecker
+
+            checker = SoundnessChecker(graph)
         active = [rule for rule in self.rules if phase in rule.phases]
         sweeps = 0
         changed = True
@@ -77,7 +85,8 @@ class RewriteEngine:
                     if not rule.applies_to(box, context):
                         continue
                     fired = self._fire(
-                        rule, box, graph, context, protect, paranoid, quarantine
+                        rule, box, graph, context, protect, paranoid, quarantine,
+                        checker,
                     )
                     if fired is None:
                         # Rolled back: every box/quantifier object was
@@ -94,7 +103,8 @@ class RewriteEngine:
                 changed = True
         return context
 
-    def _fire(self, rule, box, graph, context, protect, paranoid, quarantine):
+    def _fire(self, rule, box, graph, context, protect, paranoid, quarantine,
+              checker=None):
         """Apply ``rule`` at ``box``; returns True/False from the rule, or
         None when the firing failed and the graph was rolled back."""
         if not protect:
@@ -112,7 +122,12 @@ class RewriteEngine:
         try:
             fired = rule.apply(box, context)
             if fired and paranoid:
-                validate_graph(graph)
+                if checker is not None:
+                    # Raises QgmError when the firing introduced new error
+                    # diagnostics, after attributing them to the rule.
+                    checker.after_firing(graph, rule.name, context)
+                else:
+                    validate_graph(graph)
             return fired
         except ResourceExhaustedError:
             raise  # a blown budget is the query's fault, not the rule's

@@ -22,6 +22,9 @@ class RuleContext:
         self.rule_seconds = {}
         self.rollback_counts = {}
         self.quarantined = {}
+        # rule name -> diagnostic codes the soundness checker attributed to
+        # the rule's firings (see repro.analysis.soundness).
+        self.soundness_violations = {}
 
     def record_firing(self, rule_name):
         self.firing_counts[rule_name] = self.firing_counts.get(rule_name, 0) + 1
@@ -39,6 +42,9 @@ class RuleContext:
     def record_quarantine(self, rule_name, reason):
         self.quarantined.setdefault(rule_name, reason)
 
+    def record_soundness(self, rule_name, codes):
+        self.soundness_violations.setdefault(rule_name, []).extend(codes)
+
     def observability(self):
         """The per-rule counters as one plain dict (for outcome stats)."""
         return {
@@ -46,6 +52,10 @@ class RuleContext:
             "rule_seconds": dict(self.rule_seconds),
             "rule_rollbacks": dict(self.rollback_counts),
             "rules_quarantined": dict(self.quarantined),
+            "soundness_violations": {
+                name: list(codes)
+                for name, codes in self.soundness_violations.items()
+            },
         }
 
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import random
 
+from repro.catalog import ColumnDef
 from repro.engine import Database
 
 MKT_SEGMENTS = ("AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY")
@@ -86,31 +87,60 @@ def build_decision_support_database(scale=1.0, seed=7, database=None):
 
     db.create_table(
         "nation",
-        ["nationkey", "nname", "regionkey"],
+        [
+            ColumnDef("nationkey", "INT"),
+            ColumnDef("nname", "STR"),
+            ColumnDef("regionkey", "INT"),
+        ],
         primary_key=["nationkey"],
         rows=nations,
     )
     db.create_table(
         "customer",
-        ["custkey", "cname", "nationkey", "mktsegment", "acctbal"],
+        [
+            ColumnDef("custkey", "INT"),
+            ColumnDef("cname", "STR"),
+            ColumnDef("nationkey", "INT"),
+            ColumnDef("mktsegment", "STR"),
+            ColumnDef("acctbal", "FLOAT"),
+        ],
         primary_key=["custkey"],
         rows=customers,
     )
     db.create_table(
         "orders",
-        ["orderkey", "custkey", "ostatus", "totalprice", "omonth", "clerk"],
+        [
+            ColumnDef("orderkey", "INT"),
+            ColumnDef("custkey", "INT"),
+            ColumnDef("ostatus", "STR"),
+            ColumnDef("totalprice", "FLOAT"),
+            ColumnDef("omonth", "INT"),
+            ColumnDef("clerk", "STR"),
+        ],
         primary_key=["orderkey"],
         rows=orders,
     )
     db.create_table(
         "part",
-        ["partkey", "pname", "brand", "ptype", "size"],
+        [
+            ColumnDef("partkey", "INT"),
+            ColumnDef("pname", "STR"),
+            ColumnDef("brand", "STR"),
+            ColumnDef("ptype", "STR"),
+            ColumnDef("size", "INT"),
+        ],
         primary_key=["partkey"],
         rows=parts,
     )
     db.create_table(
         "lineitem",
-        ["orderkey", "partkey", "quantity", "extendedprice", "discount"],
+        [
+            ColumnDef("orderkey", "INT"),
+            ColumnDef("partkey", "INT"),
+            ColumnDef("quantity", "INT"),
+            ColumnDef("extendedprice", "FLOAT"),
+            ColumnDef("discount", "FLOAT"),
+        ],
         rows=lineitems,
     )
     return db

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import random
 
+from repro.catalog import ColumnDef
 from repro.engine import Database
 
 JOBS = ("CLERK", "ANALYST", "SALES", "ENGINEER", "MANAGER")
@@ -58,14 +59,26 @@ def build_empdept_database(
 
     db.create_table(
         "department",
-        ["deptno", "deptname", "mgrno", "division", "budget"],
+        [
+            ColumnDef("deptno", "STR"),
+            ColumnDef("deptname", "STR"),
+            ColumnDef("mgrno", "INT"),
+            ColumnDef("division", "STR"),
+            ColumnDef("budget", "INT"),
+        ],
         primary_key=["deptno"],
         unique_keys=[("mgrno",)],
         rows=[tuple(row) for row in departments],
     )
     db.create_table(
         "employee",
-        ["empno", "empname", "workdept", "salary", "job"],
+        [
+            ColumnDef("empno", "INT"),
+            ColumnDef("empname", "STR"),
+            ColumnDef("workdept", "STR"),
+            ColumnDef("salary", "INT"),
+            ColumnDef("job", "STR"),
+        ],
         primary_key=["empno"],
         rows=employees,
     )
