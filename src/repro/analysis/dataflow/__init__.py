@@ -1,0 +1,35 @@
+"""Interbox dataflow analyses over QGM (monotone frameworks).
+
+The package provides a generic fixpoint engine (:mod:`engine`) that runs a
+:class:`~repro.analysis.dataflow.engine.BoxAnalysis` — a lattice of facts
+plus one transfer function per box — over the box dependency graph,
+including recursive cycles, and three concrete analyses:
+
+* :mod:`keyflow` — unique keys / duplicate-freeness (the fixpoint
+  generalization of :mod:`repro.qgm.keys`, and its backend).
+* :mod:`nullflow` — column nullability under SQL's three-valued logic.
+* :mod:`bindflow` — binding propagation: which output columns are
+  restricted to magic/constant binding values, used to audit adornments.
+"""
+
+from repro.analysis.dataflow.engine import BoxAnalysis, solve
+from repro.analysis.dataflow.keyflow import KeyAnalysis, solve_box_keys, solve_keys
+from repro.analysis.dataflow.nullflow import (
+    NullabilityAnalysis,
+    NullFact,
+    solve_nullability,
+)
+from repro.analysis.dataflow.bindflow import BindingAnalysis, solve_bindings
+
+__all__ = [
+    "BindingAnalysis",
+    "BoxAnalysis",
+    "KeyAnalysis",
+    "NullFact",
+    "NullabilityAnalysis",
+    "solve",
+    "solve_bindings",
+    "solve_box_keys",
+    "solve_keys",
+    "solve_nullability",
+]

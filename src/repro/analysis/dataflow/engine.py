@@ -1,0 +1,148 @@
+"""A generic monotone-framework fixpoint engine over the QGM box graph.
+
+A :class:`BoxAnalysis` supplies, per box, an optimistic initial fact
+(:meth:`~BoxAnalysis.top`), a pessimistic fallback
+(:meth:`~BoxAnalysis.bottom`), and a transfer function
+(:meth:`~BoxAnalysis.transfer`) that recomputes the box's fact from the
+facts of the boxes it references. :func:`solve` runs the analysis to a
+fixpoint:
+
+1. collect every box reachable from the roots (through quantifier edges
+   and ``linked_magic`` links — the same dependency notion the stratum
+   machinery uses),
+2. condense the dependency graph into strongly connected components
+   (Tarjan, producers first),
+3. solve acyclic components with a single transfer call, and cyclic ones
+   by *optimistic iteration*: every member starts at ``top`` and the
+   component's transfers run round-robin until the facts stop changing.
+
+Optimistic (greatest-fixpoint) iteration is what lets facts survive
+recursion: a claim about a cyclic box holds in the result iff it is
+self-consistent under the transfer functions. Soundness follows from the
+increasing-chain semantics of recursive components — the evaluator
+computes a least fixpoint R₀ ⊆ R₁ ⊆ …, every row enters at some finite
+stage, and a one-step-sound transfer preserves per-row (and per-row-pair)
+properties at every stage, hence in the limit. Termination is guaranteed
+by a per-component round cap; if a non-monotone transfer oscillates past
+the cap, every member falls back to ``bottom`` (sound: "no facts").
+
+Correlation edges need no special casing: a transfer function reading the
+fact of a box outside the solved set receives ``None`` and must treat it
+as "unknown" (``facts.get`` conventions below).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List
+
+from repro.qgm.stratum import _tarjan_scc
+
+#: Rounds granted per cyclic component: ``_ROUNDS_BASE + _ROUNDS_PER_BOX *
+#: len(component)``. Generous — the shipped analyses converge in a handful
+#: of rounds — but finite, so even a buggy transfer terminates.
+_ROUNDS_BASE = 16
+_ROUNDS_PER_BOX = 8
+
+
+class BoxAnalysis:
+    """One dataflow analysis: a lattice of facts plus transfer functions.
+
+    Facts must be immutable values with a meaningful ``==`` (frozensets,
+    tuples of frozensets, ...): the engine detects convergence by equality.
+    """
+
+    #: Analysis name, for diagnostics and timing reports.
+    name = "abstract"
+
+    def top(self, box) -> Any:
+        """The optimistic initial fact (strongest claim) for a box inside a
+        recursive component."""
+        raise NotImplementedError
+
+    def bottom(self, box) -> Any:
+        """The sound no-information fact, used when iteration is cut off."""
+        raise NotImplementedError
+
+    def transfer(self, box, facts: Dict[int, Any]) -> Any:
+        """Recompute ``box``'s fact. ``facts`` maps ``id(child_box)`` to the
+        current fact of each solved box; referenced boxes missing from the
+        map (correlation into unsolved territory) mean "unknown"."""
+        raise NotImplementedError
+
+
+def reachable_boxes(roots: Iterable) -> List:
+    """Every box reachable from ``roots`` via quantifier edges and
+    ``linked_magic``, in deterministic discovery order."""
+    out = []
+    seen = set()
+    stack = [root for root in roots if root is not None]
+    stack.reverse()
+    while stack:
+        box = stack.pop()
+        if id(box) in seen:
+            continue
+        seen.add(id(box))
+        out.append(box)
+        children = [q.input_box for q in box.quantifiers]
+        children.extend(box.linked_magic)
+        for child in reversed(children):
+            if id(child) not in seen:
+                stack.append(child)
+    return out
+
+
+def _successors_in(universe_ids):
+    def successors(box):
+        emitted = set()
+        for quantifier in box.quantifiers:
+            child = quantifier.input_box
+            if id(child) in universe_ids and id(child) not in emitted:
+                emitted.add(id(child))
+                yield child
+        for magic in box.linked_magic:
+            if id(magic) in universe_ids and id(magic) not in emitted:
+                emitted.add(id(magic))
+                yield magic
+
+    return successors
+
+
+def solve(analysis: BoxAnalysis, roots: Iterable) -> Dict[int, Any]:
+    """Run ``analysis`` to a fixpoint over everything reachable from
+    ``roots``; returns ``id(box) -> fact``."""
+    boxes = reachable_boxes(roots)
+    universe_ids = {id(box) for box in boxes}
+    components = _tarjan_scc(boxes, _successors_in(universe_ids))
+    # Tarjan completes a component only after everything it depends on, so
+    # the emitted order is already producers-first.
+    facts: Dict[int, Any] = {}
+    for component in components:
+        if len(component) == 1 and not _self_loop(component[0]):
+            box = component[0]
+            facts[id(box)] = analysis.transfer(box, facts)
+            continue
+        _solve_cycle(analysis, component, facts)
+    return facts
+
+
+def _self_loop(box) -> bool:
+    return any(child is box for child in box.referenced_boxes())
+
+
+def _solve_cycle(analysis: BoxAnalysis, component: List, facts: Dict[int, Any]) -> None:
+    """Optimistic round-robin iteration of one recursive component."""
+    for box in component:
+        facts[id(box)] = analysis.top(box)
+    rounds = _ROUNDS_BASE + _ROUNDS_PER_BOX * len(component)
+    for _ in range(rounds):
+        changed = False
+        for box in component:
+            updated = analysis.transfer(box, facts)
+            if updated != facts[id(box)]:
+                facts[id(box)] = updated
+                changed = True
+        if not changed:
+            return
+    # Did not converge within the budget: give up soundly.
+    for box in component:
+        facts[id(box)] = analysis.bottom(box)

@@ -14,6 +14,8 @@ Diagnostic codes are allocated in blocks by pass:
 * ``QGM3xx`` — dead code (:mod:`repro.analysis.deadcode`)
 * ``QGM4xx`` — magic/adornment well-formedness and stratification
   (:mod:`repro.analysis.magic_checks`)
+* ``QGM5xx`` — interbox dataflow facts: adornment justification,
+  redundant DISTINCT, nullability (:mod:`repro.analysis.dataflow_checks`)
 
 ``CODES`` is the authoritative registry: every emitted code must appear
 there (the framework enforces it), and ``docs/diagnostics.md`` documents
@@ -85,6 +87,10 @@ CODES: Dict[str, str] = {
     "QGM405": "box kind has no registered EMST operation properties",
     "QGM406": "aggregate (groupby box) inside a recursive component",
     "QGM407": "anti-join edge inside a recursive component",
+    # -- interbox dataflow (QGM5xx) -------------------------------------------
+    "QGM501": "adornment claims a binding no dataflow path justifies",
+    "QGM502": "DISTINCT enforcement is provably redundant",
+    "QGM503": "output column is NULL in every row",
 }
 
 

@@ -135,25 +135,29 @@ def register_pass(factory: Callable[[], AnalysisPass]) -> Callable[[], AnalysisP
 
 
 def default_passes() -> List[AnalysisPass]:
-    """The full pipeline: structural, types, dead code, magic."""
+    """The full pipeline: structural, types, dead code, magic, dataflow."""
     from repro.analysis.structural import StructuralPass
     from repro.analysis.typecheck import TypeCheckPass
     from repro.analysis.deadcode import DeadCodePass
     from repro.analysis.magic_checks import MagicWellFormednessPass
+    from repro.analysis.dataflow_checks import DataflowPass
 
     passes: List[AnalysisPass] = [
         StructuralPass(),
         TypeCheckPass(),
         DeadCodePass(),
         MagicWellFormednessPass(),
+        DataflowPass(),
     ]
     passes.extend(factory() for factory in _EXTRA_PASSES)
     return passes
 
 
 def soundness_passes() -> List[AnalysisPass]:
-    """The error-detecting subset the rewrite-soundness checker runs after
-    every rule firing: structural invariants and magic well-formedness.
+    """The subset the rewrite-soundness checker runs after every rule
+    firing: structural invariants, magic well-formedness, and the dataflow
+    audit (without its per-box redundant-DISTINCT fixpoints, which would
+    be quadratic when re-run per firing).
 
     Dead-code and type diagnostics are deliberately excluded — a rewrite
     legitimately passes through states with temporarily unreferenced boxes,
@@ -161,8 +165,13 @@ def soundness_passes() -> List[AnalysisPass]:
     """
     from repro.analysis.structural import StructuralPass
     from repro.analysis.magic_checks import MagicWellFormednessPass
+    from repro.analysis.dataflow_checks import DataflowPass
 
-    return [StructuralPass(), MagicWellFormednessPass()]
+    return [
+        StructuralPass(),
+        MagicWellFormednessPass(),
+        DataflowPass(check_redundant_distinct=False),
+    ]
 
 
 class Analyzer:

@@ -251,7 +251,11 @@ class Connection:
         self.database.create_table(
             statement.name,
             [
-                ColumnDef(name=c.name, type_name=c.type_name)
+                ColumnDef(
+                    name=c.name,
+                    type_name=c.type_name,
+                    not_null=c.not_null or c.primary_key,
+                )
                 for c in statement.columns
             ],
             primary_key=statement.primary_key,
@@ -515,6 +519,8 @@ class Connection:
         stats = evaluator.stats.as_dict()
         if heuristic is not None and heuristic.context is not None:
             stats.update(heuristic.context.observability())
+        if heuristic is not None and heuristic.relaxed_distinct:
+            stats["relaxed_distinct"] = list(heuristic.relaxed_distinct)
         if report is not None:
             stats["analysis"] = report.counts()
         return ExecutionOutcome(

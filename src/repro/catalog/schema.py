@@ -14,11 +14,13 @@ class ColumnDef:
 
     ``type_name`` is advisory ("INT", "FLOAT", "STR"); the engine is
     dynamically typed and uses it only for documentation and random data
-    generation.
+    generation. ``not_null`` records a declared NOT NULL constraint; the
+    nullability dataflow analysis treats it as ground truth.
     """
 
     name: str
     type_name: str = "ANY"
+    not_null: bool = False
 
 
 @dataclass
@@ -74,6 +76,16 @@ class TableSchema:
     def has_column(self, name):
         lowered = name.lower()
         return any(column.name.lower() == lowered for column in self.columns)
+
+    def not_null_columns(self):
+        """Lower-cased names of columns that can never hold NULL: declared
+        NOT NULL columns plus the primary-key columns."""
+        out = {
+            column.name.lower() for column in self.columns if column.not_null
+        }
+        if self.primary_key is not None:
+            out.update(part.lower() for part in self.primary_key)
+        return out
 
     def all_keys(self):
         """Yield every declared key (primary first)."""

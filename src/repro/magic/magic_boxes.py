@@ -25,6 +25,31 @@ from repro.qgm.model import (
 from repro.rewrite.common import substitute_everywhere
 
 
+def relax_proven_duplicate_free(graph):
+    """Relax DISTINCT enforcement on every special-role (magic,
+    condition-magic, supplementary) box whose output the key fixpoint
+    proves duplicate-free without the enforcement.
+
+    The distinct-pullup rule does the same box-at-a-time during phase 2;
+    this sweep runs once on the whole graph before phase 3, so that boxes
+    the rule's traversal missed (notably members of recursive magic
+    cycles, which the historical key derivation bailed out on) still shed
+    their enforcement and become mergeable. Returns the relaxed boxes.
+    """
+    from repro.qgm.keys import is_duplicate_free
+
+    relaxed = []
+    for box in graph.boxes():
+        if box.magic_role == MagicRole.REGULAR:
+            continue
+        if box.distinct != DistinctMode.ENFORCE:
+            continue
+        if is_duplicate_free(box, ignore_enforce=True):
+            box.distinct = DistinctMode.PERMIT
+            relaxed.append(box)
+    return relaxed
+
+
 def build_contribution(graph, box, eligible, output_specs, role=MagicRole.MAGIC):
     """Build one magic contribution: a select box over clones of the
     ``eligible`` quantifiers of ``box``, carrying the predicates of ``box``

@@ -5,6 +5,15 @@ row-count and per-column distinct-count estimates through selects,
 group-bys and set operations, in the System-R tradition: equality to a
 constant selects ``1/V`` of the rows, an equijoin selects
 ``1/max(V_left, V_right)``, a range predicate selects 1/3.
+
+The estimator also consults the interbox dataflow fixpoints
+(:mod:`repro.analysis.dataflow`), memoised per instance:
+
+* a column proven to be a *key* of its box has exactly one distinct value
+  per row, so its distinct count is pinned to the box's row estimate;
+* ``IS [NOT] NULL`` over a column proven NOT NULL is decided, not guessed;
+* the duplicate-shrink factor of ``DISTINCT`` enforcement is skipped when
+  the key analysis proves the output duplicate-free without it.
 """
 
 from __future__ import annotations
@@ -45,6 +54,56 @@ class CardinalityEstimator:
         self._rows = {}
         self._columns = {}
         self._cyclic = {}
+        self._key_facts = {}
+        self._null_facts = {}
+        self._dupfree = {}
+
+    # -- dataflow facts -------------------------------------------------------
+
+    def box_keys(self, box):
+        """Fixpoint-derived unique keys of ``box`` (tuple of frozensets of
+        lower-cased column names), memoised for the whole solved subgraph."""
+        cached = self._key_facts.get(id(box))
+        if cached is None:
+            from repro.analysis.dataflow import solve_keys
+
+            try:
+                solved = solve_keys(box)
+            except Exception:
+                solved = {}
+            for box_id, fact in solved.items():
+                self._key_facts.setdefault(box_id, fact)
+            cached = self._key_facts.setdefault(id(box), ())
+        return cached
+
+    def notnull_columns(self, box):
+        """Columns of ``box`` proven NOT NULL by the nullability fixpoint."""
+        cached = self._null_facts.get(id(box))
+        if cached is None:
+            from repro.analysis.dataflow import solve_nullability
+
+            try:
+                solved = solve_nullability(box)
+            except Exception:
+                solved = {}
+            for box_id, fact in solved.items():
+                self._null_facts.setdefault(box_id, fact.notnull)
+            cached = self._null_facts.setdefault(id(box), frozenset())
+        return cached
+
+    def _enforcement_redundant(self, box):
+        """True when ``box``'s DISTINCT enforcement removes nothing (its
+        output is duplicate-free even ignoring the enforcement)."""
+        cached = self._dupfree.get(id(box))
+        if cached is None:
+            from repro.analysis.dataflow import solve_box_keys
+
+            try:
+                cached = bool(solve_box_keys(box, ignore_enforce=True))
+            except Exception:
+                cached = False
+            self._dupfree[id(box)] = cached
+        return cached
 
     # -- row counts ---------------------------------------------------------
 
@@ -108,7 +167,10 @@ class CardinalityEstimator:
             return min(product, input_rows)
         if box.kind == BoxKind.UNION:
             total = sum(self.rows(q.input_box, visiting) for q in box.quantifiers)
-            if box.distinct == DistinctMode.ENFORCE:
+            if (
+                box.distinct == DistinctMode.ENFORCE
+                and not self._enforcement_redundant(box)
+            ):
                 total *= 0.8
             return total
         if box.kind == BoxKind.INTERSECT:
@@ -141,7 +203,9 @@ class CardinalityEstimator:
         for quantifier in box.quantifiers:
             if quantifier.qtype in (QuantifierType.EXISTENTIAL, QuantifierType.ANTI):
                 cardinality *= SEMI_JOIN_SELECTIVITY
-        if box.distinct == DistinctMode.ENFORCE:
+        if box.distinct == DistinctMode.ENFORCE and not self._enforcement_redundant(
+            box
+        ):
             cardinality *= 0.9
         return cardinality
 
@@ -173,6 +237,15 @@ class CardinalityEstimator:
             return ColumnEstimate(distinct=100.0)
         _visiting = _visiting | {key}
         estimate = self._column_uncached(box, name, _visiting)
+        if box.kind != BoxKind.BASE and any(
+            fact <= {name.lower()} for fact in self.box_keys(box)
+        ):
+            # The column (alone) is a key: one distinct value per row.
+            estimate = ColumnEstimate(
+                distinct=self.rows(box, _visiting=_visiting),
+                min_value=estimate.min_value,
+                max_value=estimate.max_value,
+            )
         self._columns[key] = estimate
         return estimate
 
@@ -258,6 +331,12 @@ class CardinalityEstimator:
         if isinstance(predicate, qe.QLike):
             return LIKE_SELECTIVITY if not predicate.negated else 1 - LIKE_SELECTIVITY
         if isinstance(predicate, qe.QIsNull):
+            operand = predicate.operand
+            if isinstance(operand, qe.QColRef) and operand.column.lower() in (
+                self.notnull_columns(operand.quantifier.input_box)
+            ):
+                # Proven NOT NULL: the test is decided, not estimated.
+                return 0.0 if not predicate.negated else 1.0
             return 0.1 if not predicate.negated else NOT_NULL_SELECTIVITY
         return 0.5
 

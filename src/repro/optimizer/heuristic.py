@@ -43,6 +43,9 @@ class HeuristicResult:
     cost_with_emst: float
     optimizer_invocations: int
     phase_firings: Dict[int, Dict[str, int]] = field(default_factory=dict)
+    #: Names of special-role boxes whose DISTINCT enforcement the key
+    #: fixpoint proved redundant between phases 2 and 3.
+    relaxed_distinct: List[str] = field(default_factory=list)
     graph_without_emst: Optional[object] = None
     plan_without_emst: Optional[GraphPlan] = None
     #: The RuleContext of the run (per-rule timings, rollbacks, quarantines).
@@ -110,6 +113,13 @@ def optimize_with_heuristic(graph, catalog=None, engine=None, use_emst=True,
     )
     phase_firings[2] = _delta(before, context.firing_counts)
 
+    # Whole-graph duplicate-freeness sweep: shed provably redundant
+    # DISTINCT enforcement from magic/supplementary boxes (including
+    # recursive ones) so phase 3 can merge them away.
+    from repro.magic.magic_boxes import relax_proven_duplicate_free
+
+    relaxed = [box.name for box in relax_proven_duplicate_free(graph)]
+
     _clear_magic_links(graph)
 
     before = dict(context.firing_counts)
@@ -133,6 +143,7 @@ def optimize_with_heuristic(graph, catalog=None, engine=None, use_emst=True,
         cost_with_emst=plan_after.total_cost,
         optimizer_invocations=optimizer_invocations,
         phase_firings=phase_firings,
+        relaxed_distinct=relaxed,
         graph_without_emst=snapshot,
         plan_without_emst=plan_before,
         context=context,

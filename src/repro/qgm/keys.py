@@ -7,22 +7,22 @@ generated" so that the DISTINCT in statements SD3/SD4 can be dropped and the
 magic boxes merged.
 
 A *key* of a box is a set of output column names whose values are unique in
-the box's output. Keys are derived bottom-up:
+the box's output; the empty key means "at most one row". Since the dataflow
+subsystem landed, this module is a thin façade over the fixpoint key
+analysis (:mod:`repro.analysis.dataflow.keyflow`), which derives keys
 
-* BASE — the declared primary/unique keys.
-* distinct=ENFORCE — the full output column set.
-* GROUPBY — the group-key columns.
-* SELECT — start from child keys; a quantifier whose full key is equated to
-  columns of other quantifiers (or constants) contributes no multiplicity,
-  so the union of the remaining quantifiers' keys is a key of the join
-  (the classic key-preservation rule for foreign-key-style joins).
-* EXCEPT/INTERSECT — keys of the left input carry over positionally.
+* through recursive cycles (the historical recursive derivation bailed out
+  and returned none),
+* for zero-quantifier constant selects (at most one row — this is what
+  proves constant magic seed boxes duplicate-free),
+* for INTERSECT from *either* input (not just the left), and
+* for outer joins (left key ∪ right key).
+
+See the keyflow module for the per-box transfer functions and the
+soundness/termination argument for the fixpoint.
 """
 
 from __future__ import annotations
-
-from repro.qgm import expr as qe
-from repro.qgm.model import BoxKind, DistinctMode, QuantifierType
 
 
 def box_keys(box, ignore_enforce=False, _visiting=None):
@@ -31,150 +31,25 @@ def box_keys(box, ignore_enforce=False, _visiting=None):
     Each key is a frozenset of lower-cased output column names. Set
     ``ignore_enforce`` to derive keys as if the box did *not* enforce
     DISTINCT (used to decide whether the enforcement is redundant).
-    Recursive graphs terminate via the ``_visiting`` guard (a box inside a
-    cycle derives no keys).
+    ``_visiting`` is accepted for backward compatibility and ignored — the
+    fixpoint backend handles recursive graphs natively.
     """
-    if _visiting is None:
-        _visiting = set()
-    if id(box) in _visiting:
-        return []
-    _visiting = _visiting | {id(box)}
+    # Imported lazily: repro.analysis.dataflow imports the QGM model, and
+    # repro.qgm.__init__ imports this module.
+    from repro.analysis.dataflow.keyflow import solve_box_keys
 
-    keys = []
-    if box.distinct == DistinctMode.ENFORCE and not ignore_enforce:
-        keys.append(frozenset(name.lower() for name in box.column_names))
-
-    if box.kind == BoxKind.BASE:
-        available = {name.lower() for name in box.column_names}
-        for declared in box.schema.all_keys():
-            lowered = frozenset(part.lower() for part in declared)
-            if lowered <= available:
-                keys.append(lowered)
-    elif box.kind == BoxKind.GROUPBY:
-        key_columns = set()
-        complete = True
-        for column in box.columns:
-            if isinstance(column.expr, qe.QAggregate):
-                continue
-            key_columns.add(column.name.lower())
-        # The group keys functionally determine the whole row, so the set of
-        # non-aggregate output columns is a key iff every group key is
-        # exposed. Our builder always exposes all group keys.
-        exposed = 0
-        for group_key in box.group_keys:
-            for column in box.columns:
-                if column.expr is not None and qe.expr_equal(column.expr, group_key):
-                    exposed += 1
-                    break
-        if exposed == len(box.group_keys):
-            keys.append(frozenset(key_columns))
-        else:
-            complete = False
-        del complete
-    elif box.kind == BoxKind.SELECT:
-        keys.extend(_select_box_keys(box, _visiting))
-    elif box.kind in (BoxKind.EXCEPT, BoxKind.INTERSECT):
-        left = box.quantifiers[0].input_box
-        left_names = [c.name.lower() for c in left.columns]
-        own_names = [c.name.lower() for c in box.columns]
-        position = {name: idx for idx, name in enumerate(left_names)}
-        for key in box_keys(left, _visiting=_visiting):
-            try:
-                mapped = frozenset(own_names[position[part]] for part in key)
-            except KeyError:
-                continue
-            keys.append(mapped)
-
-    return _minimal(keys)
-
-
-def _select_box_keys(box, visiting):
-    """Keys of a select box, via the determined-quantifier elimination."""
-    foreach = box.foreach_quantifiers()
-    if not foreach:
-        return []
-
-    child_keys = {}
-    for quantifier in foreach:
-        child_keys[quantifier] = box_keys(quantifier.input_box, _visiting=visiting)
-
-    local = set(box.quantifiers)
-    # Equalities available for determination: q.col = <expr over others or
-    # constant>, collected per quantifier column.
-    bound_columns = {quantifier: set() for quantifier in foreach}
-    for predicate in box.predicates:
-        if not (isinstance(predicate, qe.QBinary) and predicate.op == "="):
-            continue
-        for side, other in ((predicate.left, predicate.right), (predicate.right, predicate.left)):
-            if not isinstance(side, qe.QColRef):
-                continue
-            quantifier = side.quantifier
-            if quantifier not in bound_columns:
-                continue
-            other_refs = qe.column_refs(other)
-            # The other side must not involve this same quantifier, and all
-            # of its references must be local (or it is a constant).
-            if any(ref.quantifier is quantifier for ref in other_refs):
-                continue
-            if any(ref.quantifier not in local for ref in other_refs):
-                continue
-            bound_columns[quantifier].add(side.column.lower())
-
-    remaining = list(foreach)
-    changed = True
-    while changed and len(remaining) > 1:
-        changed = False
-        for quantifier in list(remaining):
-            for key in child_keys[quantifier]:
-                if key and key <= bound_columns[quantifier]:
-                    remaining.remove(quantifier)
-                    changed = True
-                    break
-            if changed:
-                break
-
-    # Union the remaining quantifiers' keys, mapped through the output.
-    output_of = {}
-    for column in box.columns:
-        if isinstance(column.expr, qe.QColRef):
-            output_of[(column.expr.quantifier, column.expr.column.lower())] = (
-                column.name.lower()
-            )
-
-    def mapped_keys(quantifier):
-        out = []
-        for key in child_keys[quantifier]:
-            try:
-                out.append(
-                    frozenset(output_of[(quantifier, part)] for part in key)
-                )
-            except KeyError:
-                continue
-        return out
-
-    per_quantifier = []
-    for quantifier in remaining:
-        candidates = mapped_keys(quantifier)
-        if not candidates:
-            return []
-        per_quantifier.append(candidates)
-
-    # Combine one key choice per remaining quantifier (cartesian, bounded).
-    combined = [frozenset()]
-    for candidates in per_quantifier:
-        combined = [base | choice for base in combined for choice in candidates][:16]
-    return combined
+    return solve_box_keys(box, ignore_enforce=ignore_enforce)
 
 
 def _minimal(keys):
-    """Drop keys that are supersets of other keys; deduplicate."""
-    unique = sorted(set(keys), key=len)
-    out = []
-    for key in unique:
-        if not any(existing <= key and existing != key for existing in out):
-            if key not in out:
-                out.append(key)
-    return out
+    """Drop keys that are supersets of other keys; deduplicate.
+
+    Retained as a public-ish helper; the canonical implementation lives in
+    :func:`repro.analysis.dataflow.keyflow.minimal_keys`.
+    """
+    from repro.analysis.dataflow.keyflow import minimal_keys
+
+    return minimal_keys(keys)
 
 
 def is_duplicate_free(box, ignore_enforce=False):

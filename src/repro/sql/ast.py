@@ -344,6 +344,7 @@ class TableColumn(Node):
     type_name: str = "ANY"
     primary_key: bool = False
     unique: bool = False
+    not_null: bool = False
 
 
 @dataclass

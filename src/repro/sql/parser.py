@@ -169,17 +169,25 @@ class Parser:
                         self._expect(TokenKind.SYMBOL, ")")
                 is_pk = False
                 is_unique = False
-                if self._accept_keyword("PRIMARY"):
-                    self._expect_keyword("KEY")
-                    is_pk = True
-                elif self._accept_keyword("UNIQUE"):
-                    is_unique = True
+                is_not_null = False
+                while True:
+                    if self._accept_keyword("PRIMARY"):
+                        self._expect_keyword("KEY")
+                        is_pk = True
+                    elif self._accept_keyword("UNIQUE"):
+                        is_unique = True
+                    elif self._accept_keyword("NOT"):
+                        self._expect_keyword("NULL")
+                        is_not_null = True
+                    else:
+                        break
                 columns.append(
                     ast.TableColumn(
                         name=column_name,
                         type_name=type_name,
                         primary_key=is_pk,
                         unique=is_unique,
+                        not_null=is_not_null,
                     )
                 )
             if not self._accept(TokenKind.SYMBOL, ","):

@@ -88,9 +88,9 @@ def build_decision_support_database(scale=1.0, seed=7, database=None):
     db.create_table(
         "nation",
         [
-            ColumnDef("nationkey", "INT"),
-            ColumnDef("nname", "STR"),
-            ColumnDef("regionkey", "INT"),
+            ColumnDef("nationkey", "INT", not_null=True),
+            ColumnDef("nname", "STR", not_null=True),
+            ColumnDef("regionkey", "INT", not_null=True),
         ],
         primary_key=["nationkey"],
         rows=nations,
@@ -98,11 +98,11 @@ def build_decision_support_database(scale=1.0, seed=7, database=None):
     db.create_table(
         "customer",
         [
-            ColumnDef("custkey", "INT"),
-            ColumnDef("cname", "STR"),
-            ColumnDef("nationkey", "INT"),
-            ColumnDef("mktsegment", "STR"),
-            ColumnDef("acctbal", "FLOAT"),
+            ColumnDef("custkey", "INT", not_null=True),
+            ColumnDef("cname", "STR", not_null=True),
+            ColumnDef("nationkey", "INT", not_null=True),
+            ColumnDef("mktsegment", "STR", not_null=True),
+            ColumnDef("acctbal", "FLOAT", not_null=True),
         ],
         primary_key=["custkey"],
         rows=customers,
@@ -110,12 +110,12 @@ def build_decision_support_database(scale=1.0, seed=7, database=None):
     db.create_table(
         "orders",
         [
-            ColumnDef("orderkey", "INT"),
-            ColumnDef("custkey", "INT"),
-            ColumnDef("ostatus", "STR"),
-            ColumnDef("totalprice", "FLOAT"),
-            ColumnDef("omonth", "INT"),
-            ColumnDef("clerk", "STR"),
+            ColumnDef("orderkey", "INT", not_null=True),
+            ColumnDef("custkey", "INT", not_null=True),
+            ColumnDef("ostatus", "STR", not_null=True),
+            ColumnDef("totalprice", "FLOAT", not_null=True),
+            ColumnDef("omonth", "INT", not_null=True),
+            ColumnDef("clerk", "STR", not_null=True),
         ],
         primary_key=["orderkey"],
         rows=orders,
@@ -123,11 +123,11 @@ def build_decision_support_database(scale=1.0, seed=7, database=None):
     db.create_table(
         "part",
         [
-            ColumnDef("partkey", "INT"),
-            ColumnDef("pname", "STR"),
-            ColumnDef("brand", "STR"),
-            ColumnDef("ptype", "STR"),
-            ColumnDef("size", "INT"),
+            ColumnDef("partkey", "INT", not_null=True),
+            ColumnDef("pname", "STR", not_null=True),
+            ColumnDef("brand", "STR", not_null=True),
+            ColumnDef("ptype", "STR", not_null=True),
+            ColumnDef("size", "INT", not_null=True),
         ],
         primary_key=["partkey"],
         rows=parts,
@@ -135,11 +135,11 @@ def build_decision_support_database(scale=1.0, seed=7, database=None):
     db.create_table(
         "lineitem",
         [
-            ColumnDef("orderkey", "INT"),
-            ColumnDef("partkey", "INT"),
-            ColumnDef("quantity", "INT"),
-            ColumnDef("extendedprice", "FLOAT"),
-            ColumnDef("discount", "FLOAT"),
+            ColumnDef("orderkey", "INT", not_null=True),
+            ColumnDef("partkey", "INT", not_null=True),
+            ColumnDef("quantity", "INT", not_null=True),
+            ColumnDef("extendedprice", "FLOAT", not_null=True),
+            ColumnDef("discount", "FLOAT", not_null=True),
         ],
         rows=lineitems,
     )

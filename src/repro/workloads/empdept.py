@@ -60,11 +60,11 @@ def build_empdept_database(
     db.create_table(
         "department",
         [
-            ColumnDef("deptno", "STR"),
-            ColumnDef("deptname", "STR"),
+            ColumnDef("deptno", "STR", not_null=True),
+            ColumnDef("deptname", "STR", not_null=True),
             ColumnDef("mgrno", "INT"),
-            ColumnDef("division", "STR"),
-            ColumnDef("budget", "INT"),
+            ColumnDef("division", "STR", not_null=True),
+            ColumnDef("budget", "INT", not_null=True),
         ],
         primary_key=["deptno"],
         unique_keys=[("mgrno",)],
@@ -73,11 +73,11 @@ def build_empdept_database(
     db.create_table(
         "employee",
         [
-            ColumnDef("empno", "INT"),
-            ColumnDef("empname", "STR"),
-            ColumnDef("workdept", "STR"),
-            ColumnDef("salary", "INT"),
-            ColumnDef("job", "STR"),
+            ColumnDef("empno", "INT", not_null=True),
+            ColumnDef("empname", "STR", not_null=True),
+            ColumnDef("workdept", "STR", not_null=True),
+            ColumnDef("salary", "INT", not_null=True),
+            ColumnDef("job", "STR", not_null=True),
         ],
         primary_key=["empno"],
         rows=employees,

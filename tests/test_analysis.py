@@ -17,6 +17,7 @@ from repro.analysis import (
     analyze_graph,
     soundness_passes,
 )
+from repro.analysis.dataflow_checks import DataflowPass
 from repro.analysis.deadcode import DeadCodePass
 from repro.analysis.magic_checks import MagicWellFormednessPass
 from repro.analysis.structural import StructuralPass
@@ -456,6 +457,34 @@ def _negation_in_recursion(db):
     return magic(graph, db)
 
 
+def dataflow(graph, db):
+    return analyze_graph(graph, catalog=db.catalog, passes=[DataflowPass()])
+
+
+@case("QGM501", Severity.WARNING, box="Q", column="empno")
+def _unjustified_adornment(db):
+    # Claims empno is bound, but nothing restricts it: no magic link, no
+    # consumer predicate, no binding-propagation path.
+    graph = build("SELECT e.empno, e.empname FROM emp e", db)
+    graph.top_box.adornment = "bf"
+    return dataflow(graph, db)
+
+
+@case("QGM502", Severity.INFO, box="Q")
+def _redundant_distinct(db):
+    # empno is the primary key, so the output is duplicate-free without
+    # the enforcement.
+    graph = build("SELECT DISTINCT e.empno, e.empname FROM emp e", db)
+    return dataflow(graph, db)
+
+
+@case("QGM503", Severity.WARNING, box="Q", column="empno")
+def _always_null_column(db):
+    graph = build("SELECT e.empno FROM emp e", db)
+    graph.top_box.columns[0].expr = qe.QLiteral(None)
+    return dataflow(graph, db)
+
+
 def test_every_registered_code_has_a_case():
     assert set(CASES) == set(CODES)
 
@@ -488,7 +517,7 @@ def test_clean_graph_produces_empty_report(typed_db):
     assert not report.has_errors
     assert report.summary().startswith("0 error(s)")
     assert set(report.pass_seconds) == {
-        "structural", "typecheck", "deadcode", "magic",
+        "structural", "typecheck", "deadcode", "magic", "dataflow",
     }
 
 
@@ -580,7 +609,7 @@ def test_soundness_checker_absorbs_new_warnings(typed_db):
 
 def test_soundness_passes_exclude_deadcode_and_types():
     names = {p.name for p in soundness_passes()}
-    assert names == {"structural", "magic"}
+    assert names == {"structural", "magic", "dataflow"}
 
 
 # -- end-to-end: paranoid mode attributes chaos corruption to its rule --------
