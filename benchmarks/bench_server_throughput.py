@@ -1,0 +1,175 @@
+"""Server throughput under increasing overload.
+
+Drives the real socket stack (asyncio server + blocking clients on
+threads) with a parameterized EMST query and measures, at 1x / 4x / 16x
+of the admission capacity:
+
+* p50/p99 client-observed latency of successful requests,
+* plan-cache hit rate (the adornment-keyed cache is what makes the
+  per-request cost "execute only", the paper's prepared-statement model),
+* shed counts and whether load shedding kept the admitted latency
+  bounded instead of letting the queue melt down,
+* cold (prepare + plan) vs warm (clone + bind + execute) latency.
+
+Writes ``benchmarks/results/server_throughput.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+from repro.api import Connection
+from repro.server.chaos import ServerHarness
+from repro.server.client import ServerError
+from repro.server.core import ServerConfig
+from repro.resilience.retry import RetryPolicy
+from repro.workloads.empdept import PAPER_VIEWS_SQL, build_empdept_database
+
+from benchmarks.conftest import RESULTS_DIR, bench_scale
+
+PARAM_QUERY = (
+    "SELECT d.deptname, s.avgsalary FROM department d, avgMgrSal s "
+    "WHERE d.deptno = s.workdept AND d.deptname = ?"
+)
+
+MAX_CONCURRENT = 4
+MAX_QUEUE = 8
+
+
+def _percentile(samples, fraction):
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    index = min(int(len(ordered) * fraction), len(ordered) - 1)
+    return ordered[index]
+
+
+def _drive(harness, clients, requests_per_client, deptnames):
+    """``clients`` threads, each its own session, no client-side retry —
+    sheds must show up in the numbers, not hide behind backoff."""
+    latencies = []
+    sheds = 0
+    errors = 0
+    lock = threading.Lock()
+
+    def worker(offset):
+        nonlocal sheds, errors
+        with harness.client(retry=RetryPolicy(max_attempts=1)) as client:
+            for index in range(requests_per_client):
+                name = deptnames[(offset + index) % len(deptnames)]
+                started = time.perf_counter()
+                try:
+                    client.query(PARAM_QUERY, params=[name], deadline=30)
+                except ServerError as exc:
+                    with lock:
+                        if exc.error_type == "ServerOverloadedError":
+                            sheds += 1
+                        else:
+                            errors += 1
+                    continue
+                elapsed = time.perf_counter() - started
+                with lock:
+                    latencies.append(elapsed)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), daemon=True)
+        for i in range(clients)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    return {
+        "clients": clients,
+        "requests": clients * requests_per_client,
+        "completed": len(latencies),
+        "shed": sheds,
+        "errors": errors,
+        "wall_seconds": round(wall, 4),
+        "throughput_qps": round(len(latencies) / wall, 2) if wall else None,
+        "p50_seconds": round(_percentile(latencies, 0.50), 6),
+        "p99_seconds": round(_percentile(latencies, 0.99), 6),
+    }
+
+
+def run_bench(scale=None, requests_per_client=12):
+    scale = scale if scale is not None else bench_scale()
+    database = build_empdept_database(
+        n_departments=max(int(250 * scale), 10),
+        employees_per_department=8,
+        seed=107,
+    )
+    Connection(database).run_script(PAPER_VIEWS_SQL)
+    deptnames = ["Planning"] + [
+        "Dept%04d" % i
+        for i in range(1, min(len(database.table("department").rows), 24))
+    ]
+    config = ServerConfig(
+        port=0, max_concurrent=MAX_CONCURRENT, max_queue=MAX_QUEUE,
+        default_deadline_seconds=30.0,
+    )
+    report = {
+        "scale": scale,
+        "max_concurrent": MAX_CONCURRENT,
+        "max_queue": MAX_QUEUE,
+        "levels": [],
+    }
+    with ServerHarness(database, config) as harness:
+        # Cold vs warm: the first request pays parse + rewrite + plan; the
+        # second only clone + bind + execute.
+        with harness.client() as probe:
+            cold_start = time.perf_counter()
+            probe.query(PARAM_QUERY, params=["Planning"])
+            cold = time.perf_counter() - cold_start
+            warm_samples = []
+            for name in deptnames[:10]:
+                warm_start = time.perf_counter()
+                probe.query(PARAM_QUERY, params=[name])
+                warm_samples.append(time.perf_counter() - warm_start)
+        report["cold_prepare_seconds"] = round(cold, 6)
+        report["warm_execute_p50_seconds"] = round(
+            _percentile(warm_samples, 0.5), 6
+        )
+        report["cold_over_warm"] = round(
+            cold / max(_percentile(warm_samples, 0.5), 1e-9), 1
+        )
+        for multiplier in (1, 4, 16):
+            level = _drive(
+                harness,
+                clients=MAX_CONCURRENT * multiplier,
+                requests_per_client=requests_per_client,
+                deptnames=deptnames,
+            )
+            level["overload"] = "%dx" % multiplier
+            stats = harness.server.handle_stats()
+            level["cache_hit_rate"] = round(stats["cache"]["hit_rate"], 4)
+            report["levels"].append(level)
+        final = harness.server.handle_stats()
+        report["final_cache"] = final["cache"]
+        report["final_admission"] = final["admission"]
+    return report
+
+
+def test_server_throughput():
+    report = run_bench()
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "server_throughput.json").write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+    # Sanity: the cache must be doing its job under load, and shedding
+    # must be the overflow valve, not the common case at 1x.
+    assert report["levels"][0]["shed"] == 0 or (
+        report["levels"][0]["shed"] < report["levels"][0]["requests"] * 0.1
+    )
+    assert report["final_cache"]["hit_rate"] > 0.9
+    assert report["cold_over_warm"] > 1.0
+    for level in report["levels"]:
+        assert level["completed"], "no requests completed at %s" % level["overload"]
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_bench(), indent=2))

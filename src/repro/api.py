@@ -199,15 +199,10 @@ class Connection:
         queries = script.queries
         if len(queries) != 1:
             raise ReproError("expected exactly one query, got %d" % len(queries))
-        for statement in script.views:
-            self.database.catalog.add_view(statement)
-        try:
+        with self.database.catalog.scoped_views(script.views):
             graph, plan, heuristic, _ = self.prepare(
                 queries[0], strategy, resilience=resilience
             )
-        finally:
-            for statement in script.views:
-                self.database.catalog.drop_view(statement.name)
         validate_graph(graph)
         return PreparedQuery(
             database=self.database,
@@ -404,16 +399,11 @@ class Connection:
         queries = script.queries
         if len(queries) != 1:
             raise ReproError("expected exactly one query, got %d" % len(queries))
-        for statement in script.views:
-            self.database.catalog.add_view(statement)
-        try:
+        with self.database.catalog.scoped_views(script.views):
             return self.execute_query(
                 queries[0], strategy=strategy, resilience=resilience,
                 analyze=analyze,
             )
-        finally:
-            for statement in script.views:
-                self.database.catalog.drop_view(statement.name)
 
     # -- core ---------------------------------------------------------------------
 
@@ -541,13 +531,8 @@ class Connection:
         queries = script.queries
         if len(queries) != 1:
             raise ReproError("expected exactly one query, got %d" % len(queries))
-        for statement in script.views:
-            self.database.catalog.add_view(statement)
-        try:
+        with self.database.catalog.scoped_views(script.views):
             graph, plan, heuristic, _ = self.prepare(queries[0], strategy)
-        finally:
-            for statement in script.views:
-                self.database.catalog.drop_view(statement.name)
         parts = ["strategy: %s" % strategy]
         if heuristic is not None:
             parts.append(

@@ -7,6 +7,8 @@ expanded by the QGM builder; base tables own a :class:`TableSchema` and a
 
 from __future__ import annotations
 
+import contextlib
+
 from repro.catalog.schema import ColumnDef, TableSchema
 from repro.catalog.statistics import TableStatistics
 from repro.errors import CatalogError
@@ -19,6 +21,10 @@ class Catalog:
         self._tables = {}
         self._statistics = {}
         self._views = {}
+        #: Monotonic DDL version: bumped by every schema change (table or
+        #: view added, view dropped). Plan caches key on it so DDL
+        #: *invalidates* cached plans instead of corrupting them.
+        self.version = 0
 
     def __deepcopy__(self, memo):
         # Query graphs hold a catalog reference; deep-copying a graph (the
@@ -35,6 +41,7 @@ class Catalog:
             raise CatalogError("table or view %r already defined" % schema.name)
         self._tables[key] = schema
         self._statistics[key] = statistics or TableStatistics()
+        self.version += 1
         return schema
 
     def define_table(self, name, column_names, primary_key=None, unique_keys=None):
@@ -81,10 +88,37 @@ class Catalog:
         if key in self._tables or key in self._views:
             raise CatalogError("table or view %r already defined" % view.name)
         self._views[key] = view
+        self.version += 1
         return view
 
     def drop_view(self, name):
-        self._views.pop(name.lower(), None)
+        if self._views.pop(name.lower(), None) is not None:
+            self.version += 1
+
+    @contextlib.contextmanager
+    def scoped_views(self, views):
+        """Register ``views`` for the duration of the ``with`` block only.
+
+        Statement-scoped inline views (a query script that carries its own
+        CREATE VIEWs) are not durable DDL, so — unlike :meth:`add_view` /
+        :meth:`drop_view` — this does **not** bump :attr:`version`: a plan
+        cache keyed on the catalog version must not be invalidated by
+        every statement that happens to ship helper views.
+        """
+        added = []
+        try:
+            for view in views:
+                key = view.name.lower()
+                if key in self._tables or key in self._views:
+                    raise CatalogError(
+                        "table or view %r already defined" % view.name
+                    )
+                self._views[key] = view
+                added.append(key)
+            yield
+        finally:
+            for key in added:
+                self._views.pop(key, None)
 
     def has_view(self, name):
         return name.lower() in self._views

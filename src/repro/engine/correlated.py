@@ -25,7 +25,13 @@ from repro.errors import ExecutionError, NotSupportedError
 from repro.qgm import expr as qe
 from repro.qgm.model import BoxKind, DistinctMode, QuantifierType
 from repro.qgm.stratum import is_recursive
-from repro.engine.evaluator import Result, EvaluatorStats, _apply_order_limit, _dedupe
+from repro.engine.evaluator import (
+    CHECKPOINT_INTERVAL,
+    Result,
+    EvaluatorStats,
+    _apply_order_limit,
+    _dedupe,
+)
 from repro.engine.expressions import (
     compile_expr,
     compile_predicate,
@@ -53,6 +59,7 @@ class CorrelatedEvaluator:
         self.governor = governor
         self.fault_plan = fault_plan
         self.stats = EvaluatorStats()
+        self._probe_budget = CHECKPOINT_INTERVAL
         self._memo = {}
         self._externals_cache = {}
         self._compiled = {}
@@ -71,6 +78,18 @@ class CorrelatedEvaluator:
             fn = compile_predicate(expr)
             self._compiled_predicates[id(expr)] = fn
         return fn
+
+    def _checkpoint(self, box):
+        """Cooperative cancellation/deadline checkpoint for the per-binding
+        probe loops (same cadence as the set-oriented evaluator)."""
+        if self.governor is None:
+            return
+        self._probe_budget -= 1
+        if self._probe_budget <= 0:
+            self._probe_budget = CHECKPOINT_INTERVAL
+            self.governor.checkpoint(
+                "correlated join processing in box %r" % box.name
+            )
 
     def run(self):
         top = self.graph.top_box
@@ -296,6 +315,7 @@ class CorrelatedEvaluator:
                     quantifier.input_box, current, per_env_filters
                 ):
                     self.stats.join_probes += 1
+                    self._checkpoint(box)
                     extended = dict(current)
                     extended[quantifier] = row
                     if all(fn(extended) for fn in post_fns):

@@ -27,6 +27,12 @@ from repro.engine.expressions import (
     predicate_holds,
 )
 
+#: Join-probe granularity of cooperative cancellation/deadline checks: the
+#: governor's clock read is cheap but not free, so the hot loops consult it
+#: once per this many probes. Small enough that a deadline or disconnect is
+#: observed within milliseconds even inside one monster join.
+CHECKPOINT_INTERVAL = 2048
+
 
 class Result:
     """Final query output: column names plus rows (list of tuples)."""
@@ -82,6 +88,7 @@ class Evaluator:
         self.governor = governor
         self.fault_plan = fault_plan
         self.stats = EvaluatorStats()
+        self._probe_budget = CHECKPOINT_INTERVAL
         self._materialized = {}
         self._correlated_memo = {}
         self._external_cache = {}
@@ -166,6 +173,16 @@ class Evaluator:
         if self.memoize_correlated:
             self._correlated_memo[key] = rows
         return rows
+
+    def _checkpoint(self, box):
+        """Cooperative cancellation/deadline checkpoint, amortized over
+        :data:`CHECKPOINT_INTERVAL` join probes."""
+        if self.governor is None:
+            return
+        self._probe_budget -= 1
+        if self._probe_budget <= 0:
+            self._probe_budget = CHECKPOINT_INTERVAL
+            self.governor.checkpoint("join processing in box %r" % box.name)
 
     def _finalize(self, box, rows):
         self.stats.box_evaluations += 1
@@ -380,6 +397,7 @@ class Evaluator:
                     continue  # NULL never equals anything
                 for row in index.get(probe, ()):
                     self.stats.join_probes += 1
+                    self._checkpoint(box)
                     extended = dict(current)
                     extended[quantifier] = row
                     if all(fn(extended) for fn in residual_fns):
@@ -390,6 +408,7 @@ class Evaluator:
                 child_rows = self.rows_for(child, current)
                 for row in child_rows:
                     self.stats.join_probes += 1
+                    self._checkpoint(box)
                     extended = dict(current)
                     extended[quantifier] = row
                     if all(fn(extended) for fn in applicable_fns):
@@ -520,6 +539,7 @@ class Evaluator:
         groups = {}
         order = []
         for row in input_rows:
+            self._checkpoint(box)
             row_env = dict(env)
             row_env[quantifier] = row
             key = tuple(fn(row_env) for fn in key_fns)
@@ -612,6 +632,7 @@ class Evaluator:
                 candidates = right_rows
             for right_row in candidates:
                 self.stats.join_probes += 1
+                self._checkpoint(box)
                 extended = dict(base_env)
                 extended[right_q] = right_row
                 if all(predicate_holds(p, extended) for p in (residual if use_index else box.predicates)):

@@ -177,6 +177,12 @@ def evaluate(expr, env):
     from the environment is an internal error (the evaluator must always
     bind correlated quantifiers before descending).
     """
+    if isinstance(expr, qe.QParam):
+        raise ExecutionError(
+            "unbound parameter ?%d reached the evaluator; bind_parameters "
+            "must run before execution" % (expr.index + 1),
+            context={"parameter": expr.index},
+        )
     if isinstance(expr, qe.QLiteral):
         return expr.value
     if isinstance(expr, qe.QColRef):
@@ -252,6 +258,12 @@ def compile_expr(expr):
     after compilation (rewrite rules rebuild expressions rather than
     mutating, so anything reachable during execution is stable).
     """
+    if isinstance(expr, qe.QParam):
+        raise ExecutionError(
+            "unbound parameter ?%d reached the evaluator; bind_parameters "
+            "must run before execution" % (expr.index + 1),
+            context={"parameter": expr.index},
+        )
     if isinstance(expr, qe.QLiteral):
         value = expr.value
         return lambda env: value

@@ -115,6 +115,13 @@ def run_fixpoint(evaluator, component, governor=None):
         changed = False
         new_delta = {id(box): [] for box in component}
         for box in component:
+            # Cooperative checkpoint per member: a deadline expiring or a
+            # cancel token set mid-round aborts before the next member's
+            # (potentially expensive) delta join, so cancellation latency
+            # is bounded by one box evaluation, not one full round.
+            governor.checkpoint(
+                "fixpoint round %d, box %r" % (rounds, box.name)
+            )
             quantifier = linear[id(box)]
             if quantifier is not None and rounds > 1:
                 # Semi-naive: join against the previous round's delta only.

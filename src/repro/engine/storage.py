@@ -13,11 +13,20 @@ from repro.errors import CatalogError, ExecutionError
 
 
 class Table:
-    """A stored base table: schema + rows + lazily built hash indexes."""
+    """A stored base table: schema + rows + lazily built hash indexes.
+
+    ``version`` is a monotonic data-version counter, bumped by every
+    mutation through :meth:`invalidate_indexes`. Plan artifacts computed
+    against the table (cached plans optimized with its statistics) record
+    the version they saw, so staleness is *detectable* — a stale plan is
+    still correct (plans never embed row data), just possibly suboptimal,
+    and the serving layer decides whether to re-plan.
+    """
 
     def __init__(self, schema, rows=None):
         self.schema = schema
         self.rows = list(rows or [])
+        self.version = 0
         self._indexes = {}
 
     def insert(self, row):
@@ -30,13 +39,26 @@ class Table:
         self.invalidate_indexes()
 
     def insert_many(self, rows):
+        rows = [tuple(row) for row in rows]
         for row in rows:
-            self.insert(row)
+            if len(row) != len(self.schema.columns):
+                raise ExecutionError(
+                    "row arity %d does not match table %r (%d columns)"
+                    % (len(row), self.schema.name, len(self.schema.columns))
+                )
+        if not rows:
+            return
+        self.rows.extend(rows)
+        # One statement, one version bump — per-row bumps would make the
+        # version useless as a "how much changed" signal.
+        self.invalidate_indexes()
 
     def invalidate_indexes(self):
-        """Drop the lazily built hash indexes; the next ``index_on`` call
-        rebuilds them. Callers that mutate ``rows`` directly (DELETE and
-        UPDATE do) must call this instead of touching ``_indexes``."""
+        """Drop the lazily built hash indexes and bump the monotonic data
+        version; the next ``index_on`` call rebuilds them. Callers that
+        mutate ``rows`` directly (DELETE and UPDATE do) must call this
+        instead of touching ``_indexes``."""
+        self.version += 1
         self._indexes.clear()
 
     def index_on(self, columns):
@@ -73,6 +95,28 @@ class Database:
     def __init__(self, catalog=None):
         self.catalog = catalog or Catalog()
         self._tables = {}
+
+    def schema_version(self):
+        """The catalog's monotonic DDL version (see
+        :attr:`~repro.catalog.Catalog.version`). Cached plans are keyed on
+        it: any CREATE TABLE/VIEW or DROP VIEW makes every previously
+        cached plan unreachable rather than silently wrong."""
+        return self.catalog.version
+
+    def table_versions(self, names=None):
+        """``{table name (lower) -> data version}`` for ``names`` (all
+        stored tables when omitted); the plan cache records these to make
+        statistics staleness detectable."""
+        if names is None:
+            return {
+                name: table.version for name, table in self._tables.items()
+            }
+        out = {}
+        for name in names:
+            table = self._tables.get(name.lower())
+            if table is not None:
+                out[name.lower()] = table.version
+        return out
 
     def create_table(self, name, columns, primary_key=None, unique_keys=None, rows=None):
         """Create a base table.

@@ -80,16 +80,79 @@ class ResourceExhaustedError(ExecutionError):
 
     ``limit`` names the budget that tripped, ``where`` the pipeline stage,
     and ``progress`` how far the query got; all three are repeated in
-    :attr:`ReproError.context` for structured consumption.
+    :attr:`ReproError.context` for structured consumption. ``retry_after``
+    (seconds, may be None) is a machine-readable hint for admission and
+    retry layers: how long to wait before the same request is worth
+    resubmitting — also mirrored into ``context`` so wire serializers
+    need not special-case the attribute.
     """
 
-    def __init__(self, message, limit=None, where=None, progress=None, context=None):
-        merged = {"limit": limit, "where": where, "progress": progress}
+    #: Budget errors are deterministic for a fixed query and budget: the
+    #: same request retried immediately fails identically, so they are not
+    #: retryable by default. Subclasses representing *load* conditions
+    #: (queue full) override this.
+    retryable = False
+
+    def __init__(self, message, limit=None, where=None, progress=None,
+                 retry_after=None, context=None):
+        merged = {
+            "limit": limit,
+            "where": where,
+            "progress": progress,
+            "retry_after": retry_after,
+        }
         merged.update(context or {})
         super().__init__(message, context=merged)
         self.limit = limit
         self.where = where
         self.progress = progress
+        self.retry_after = retry_after
+
+
+class QueryCancelledError(ExecutionError):
+    """Raised at a cooperative cancellation checkpoint after the query's
+    cancel token was set (client disconnect, server shutdown, admin kill).
+
+    Distinct from :class:`ResourceExhaustedError`: a cancelled query did
+    not exceed any budget, and retrying it (with a live client) is safe —
+    the engine guarantees cancelled queries leave no partial state.
+    """
+
+    retryable = True
+
+    def __init__(self, message, where=None, reason=None, context=None):
+        merged = {"where": where, "reason": reason}
+        merged.update(context or {})
+        super().__init__(message, context=merged)
+        self.where = where
+        self.reason = reason
+
+
+class ServerOverloadedError(ResourceExhaustedError):
+    """Raised by the admission controller when the server sheds a request
+    because the concurrency gate and its bounded queue are both full.
+
+    Carries a ``retry_after`` hint (seconds) computed from the observed
+    service rate, so well-behaved clients back off instead of hammering.
+    Always retryable: load is transient by definition.
+    """
+
+    retryable = True
+
+    def __init__(self, message, retry_after=None, queue_depth=None,
+                 active=None, context=None):
+        merged = {"queue_depth": queue_depth, "active": active}
+        merged.update(context or {})
+        super().__init__(
+            message,
+            limit="admission",
+            where="admission control",
+            progress="request shed before execution",
+            retry_after=retry_after,
+            context=merged,
+        )
+        self.queue_depth = queue_depth
+        self.active = active
 
 
 class NotSupportedError(ReproError):

@@ -6,6 +6,7 @@ subexpressions and cycles for recursion.
 from repro.qgm.expr import (
     QExpr,
     QLiteral,
+    QParam,
     QColRef,
     QUnary,
     QBinary,
@@ -39,6 +40,7 @@ from repro.qgm.validate import validate_graph
 __all__ = [
     "QExpr",
     "QLiteral",
+    "QParam",
     "QColRef",
     "QUnary",
     "QBinary",

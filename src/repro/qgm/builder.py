@@ -632,6 +632,8 @@ class GraphBuilder:
     def _translate(self, expr, scopes, box):
         """Translate a scalar expression (no E/A quantifier creation;
         scalar subqueries become S quantifiers on ``box``)."""
+        if isinstance(expr, ast.Parameter):
+            return qe.QParam(index=expr.index)
         if isinstance(expr, ast.Literal):
             return qe.QLiteral(value=expr.value)
         if isinstance(expr, ast.ColumnRef):
@@ -774,6 +776,8 @@ class _GroupOutputMapper:
             if index is None:
                 raise BindError("aggregate %s not collected" % expr.name)
             return self.t2.ref("agg%d" % index)
+        if isinstance(expr, ast.Parameter):
+            return qe.QParam(index=expr.index)
         if isinstance(expr, (ast.Literal,)):
             return qe.QLiteral(value=expr.value)
         # A composite expression may match a group key structurally (e.g.

@@ -51,6 +51,56 @@ class QLiteral(QExpr):
         return str(self.value)
 
 
+class _ParamMarker:
+    """The placeholder value a :class:`QParam` carries before binding.
+
+    Markers compare (and hash) by parameter index, so two parameters are
+    structurally equal only when they are the *same* parameter — a rewrite
+    that dedupes predicates must never conflate ``?1`` with ``?2``. The
+    cardinality estimator's numeric guards reject markers, so parameters
+    fall back to default selectivities, exactly like an unknown constant.
+    """
+
+    __slots__ = ("index",)
+
+    def __init__(self, index):
+        self.index = index
+
+    def __eq__(self, other):
+        return isinstance(other, _ParamMarker) and other.index == self.index
+
+    def __hash__(self):
+        return hash(("?", self.index))
+
+    def __repr__(self):
+        return "?%d" % (self.index + 1)
+
+    __str__ = __repr__
+
+
+class QParam(QLiteral):
+    """A prepared-statement parameter (``?`` in SQL text).
+
+    Subclassing :class:`QLiteral` is deliberate: every rewrite, adornment
+    and analysis path that treats a literal as a bindable constant (no
+    column references) treats a parameter identically — which is the whole
+    point of caching rewritten plans per binding pattern. The carried
+    ``value`` is a :class:`_ParamMarker`; executing a graph that still
+    contains a :class:`QParam` is an error (bind first with
+    :func:`repro.qgm.params.bind_parameters`).
+    """
+
+    def __init__(self, index):
+        super().__init__(value=_ParamMarker(index))
+        self.index = index
+
+    def __str__(self):
+        return "?%d" % (self.index + 1)
+
+    def __repr__(self):
+        return "QParam(index=%d)" % self.index
+
+
 @dataclass(eq=False)
 class QColRef(QExpr):
     """A resolved reference to column ``column`` of ``quantifier``."""

@@ -24,6 +24,12 @@ from repro.resilience.fallback import (
     ResiliencePolicy,
 )
 from repro.resilience.faults import FaultPlan, InjectedFault
+from repro.resilience.breaker import (
+    DEFAULT_STRATEGY_CHAIN,
+    CircuitBreaker,
+    StrategyBreakerBoard,
+)
+from repro.resilience.retry import RetryPolicy
 
 __all__ = [
     "ResourceGovernor",
@@ -32,4 +38,8 @@ __all__ = [
     "FallbackReport",
     "FaultPlan",
     "InjectedFault",
+    "CircuitBreaker",
+    "StrategyBreakerBoard",
+    "DEFAULT_STRATEGY_CHAIN",
+    "RetryPolicy",
 ]

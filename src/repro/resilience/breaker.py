@@ -1,0 +1,157 @@
+"""Per-rewrite-strategy circuit breakers.
+
+The per-request fallback chain (``emst -> phase1 -> original``) absorbs a
+*single* failing strategy, but it pays the failure cost on every request:
+a rewrite bug that reliably kills ``emst`` makes every query attempt the
+broken pipeline, fail, roll back and re-prepare under ``phase1``. A
+:class:`CircuitBreaker` adds memory across requests: after
+``failure_threshold`` consecutive failures a strategy's circuit *opens*
+and the serving layer starts requests further down the chain directly for
+``cooldown_seconds``; after the cooldown one trial request is let through
+(*half-open*) — success closes the circuit, failure re-opens it.
+
+The breaker is deliberately time-source-injectable (``clock``) so tests
+exercise the state machine without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+#: Demotion order mirrors the resilience fallback chain.
+DEFAULT_STRATEGY_CHAIN = ("emst", "phase1", "original")
+
+
+class CircuitBreaker:
+    """A classic closed → open → half-open breaker for one strategy."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(self, failure_threshold=3, cooldown_seconds=30.0, clock=None):
+        self.failure_threshold = failure_threshold
+        self.cooldown_seconds = cooldown_seconds
+        self.clock = clock or time.monotonic
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = None
+        #: Lifetime counters for observability.
+        self.total_failures = 0
+        self.total_successes = 0
+        self.times_opened = 0
+        self.last_error = None
+
+    def allows(self):
+        """May a request start under this strategy right now? Transitions
+        OPEN → HALF_OPEN when the cooldown has elapsed (the caller's
+        request becomes the trial)."""
+        if self.state == self.CLOSED:
+            return True
+        if self.state == self.OPEN:
+            if self.clock() - self.opened_at >= self.cooldown_seconds:
+                self.state = self.HALF_OPEN
+                return True
+            return False
+        # HALF_OPEN: one trial is already implied by the transition above;
+        # further requests stay demoted until the trial reports back.
+        return False
+
+    def record_success(self):
+        self.total_successes += 1
+        self.consecutive_failures = 0
+        self.state = self.CLOSED
+        self.opened_at = None
+
+    def record_failure(self, error=None):
+        self.total_failures += 1
+        self.consecutive_failures += 1
+        self.last_error = None if error is None else (
+            "%s: %s" % (type(error).__name__, error)
+        )
+        if (
+            self.state == self.HALF_OPEN
+            or self.consecutive_failures >= self.failure_threshold
+        ):
+            self.state = self.OPEN
+            self.opened_at = self.clock()
+            self.times_opened += 1
+
+    def snapshot(self):
+        remaining = None
+        if self.state == self.OPEN and self.opened_at is not None:
+            remaining = max(
+                self.cooldown_seconds - (self.clock() - self.opened_at), 0.0
+            )
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "total_failures": self.total_failures,
+            "total_successes": self.total_successes,
+            "times_opened": self.times_opened,
+            "cooldown_remaining": remaining,
+            "last_error": self.last_error,
+        }
+
+
+class StrategyBreakerBoard:
+    """One breaker per rewrite strategy plus the demotion policy.
+
+    :meth:`select` returns the first strategy at or below ``requested``
+    whose circuit admits traffic; the chain's last entry (``original`` —
+    no rewrite at all) is never blocked, so a query can always run.
+    Thread-safe: the serving layer calls it from executor threads.
+    """
+
+    def __init__(self, chain=DEFAULT_STRATEGY_CHAIN, failure_threshold=3,
+                 cooldown_seconds=30.0, clock=None):
+        self.chain = tuple(chain)
+        self._lock = threading.Lock()
+        self.breakers = {
+            strategy: CircuitBreaker(
+                failure_threshold=failure_threshold,
+                cooldown_seconds=cooldown_seconds,
+                clock=clock,
+            )
+            for strategy in self.chain
+        }
+        self.demotions = 0
+
+    def select(self, requested):
+        """The strategy to *start* the request under. Strategies outside
+        the chain (``correlated``, ``norewrite``) have no breaker and pass
+        through unchanged."""
+        if requested not in self.chain:
+            return requested
+        with self._lock:
+            index = self.chain.index(requested)
+            for strategy in self.chain[index:-1]:
+                if self.breakers[strategy].allows():
+                    if strategy != requested:
+                        self.demotions += 1
+                    return strategy
+                self.demotions += 1
+            return self.chain[-1]
+
+    def record_success(self, strategy):
+        breaker = self.breakers.get(strategy)
+        if breaker is not None:
+            with self._lock:
+                breaker.record_success()
+
+    def record_failure(self, strategy, error=None):
+        breaker = self.breakers.get(strategy)
+        if breaker is not None:
+            with self._lock:
+                breaker.record_failure(error)
+
+    def snapshot(self):
+        with self._lock:
+            return {
+                "demotions": self.demotions,
+                "strategies": {
+                    name: breaker.snapshot()
+                    for name, breaker in self.breakers.items()
+                },
+            }

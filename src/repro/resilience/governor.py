@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import time
 
-from repro.errors import ResourceExhaustedError
+from repro.errors import QueryCancelledError, ResourceExhaustedError
 
 #: Historical cap from ``rewrite/engine.py``.
 DEFAULT_MAX_REWRITE_SWEEPS = 200
@@ -54,28 +54,107 @@ class ResourceGovernor:
     # -- lifecycle ---------------------------------------------------------------
 
     def begin_query(self):
-        """Reset cumulative counters and restart the deadline clock."""
+        """Reset cumulative counters and restart the deadline clock.
+
+        The cancel token is also cleared: cancellation is a per-query
+        signal, and a governor reused across a connection must not let a
+        stale token kill the next query.
+        """
         self._started_at = time.perf_counter()
         self.materialized_rows = 0
         self.correlated_invocations = 0
+        self._cancel_event = None
+        self._cancel_reason = None
 
     def elapsed_seconds(self):
         return time.perf_counter() - self._started_at
 
+    def remaining(self):
+        """A machine-readable snapshot of the unspent budgets.
+
+        Keys mirror the constructor arguments; a value of ``None`` means
+        "unlimited". The admission layer uses this to decide whether a
+        queued request still has enough budget to be worth dispatching,
+        and it is surfaced verbatim in server ``stats`` responses.
+        """
+        deadline_remaining = None
+        if self.deadline_seconds is not None:
+            deadline_remaining = max(
+                self.deadline_seconds - self.elapsed_seconds(), 0.0
+            )
+        rows_remaining = None
+        if self.max_materialized_rows is not None:
+            rows_remaining = max(
+                self.max_materialized_rows - self.materialized_rows, 0
+            )
+        correlated_remaining = None
+        if self.max_correlated_invocations is not None:
+            correlated_remaining = max(
+                self.max_correlated_invocations - self.correlated_invocations, 0
+            )
+        return {
+            "deadline_seconds": deadline_remaining,
+            "max_materialized_rows": rows_remaining,
+            "max_correlated_invocations": correlated_remaining,
+            # Sweep/round budgets are per run_phase/run_fixpoint call, not
+            # cumulative; the full limit is always available to a new call.
+            "max_rewrite_sweeps": self.max_rewrite_sweeps,
+            "max_fixpoint_rounds": self.max_fixpoint_rounds,
+        }
+
+    # -- cancellation ------------------------------------------------------------
+
+    def attach_cancel_token(self, event, reason="cancelled"):
+        """Arm cooperative cancellation: ``event`` is any object with an
+        ``is_set()`` method (``threading.Event`` in practice). Once set,
+        the next checkpoint raises :class:`QueryCancelledError`."""
+        self._cancel_event = event
+        self._cancel_reason = reason
+
+    def cancel(self, reason="cancelled"):
+        """Cancel from the governor itself (no external event needed)."""
+
+        class _Set:
+            @staticmethod
+            def is_set():
+                return True
+
+        self._cancel_event = _Set()
+        self._cancel_reason = reason
+
+    @property
+    def cancelled(self):
+        return self._cancel_event is not None and self._cancel_event.is_set()
+
     # -- raising -----------------------------------------------------------------
 
-    def _exhausted(self, limit, value, where, progress):
+    def _exhausted(self, limit, value, where, progress, retry_after=None):
         raise ResourceExhaustedError(
             "%s exceeded %s=%s (%s)" % (where, limit, value, progress),
             limit=limit,
             where=where,
             progress=progress,
+            retry_after=retry_after,
         )
 
     # -- checks ------------------------------------------------------------------
 
+    def check_cancelled(self, where):
+        if self.cancelled:
+            raise QueryCancelledError(
+                "query cancelled during %s (%s)" % (where, self._cancel_reason),
+                where=where,
+                reason=self._cancel_reason,
+            )
+
+    def checkpoint(self, where):
+        """The cooperative yield point the engine loops call: observes the
+        cancel token and the wall-clock deadline (both cheap)."""
+        self.check_deadline(where)
+
     def check_deadline(self, where):
         """Cheap wall-clock check; called from every other check too."""
+        self.check_cancelled(where)
         if self.deadline_seconds is None:
             return
         elapsed = self.elapsed_seconds()
@@ -85,6 +164,9 @@ class ResourceGovernor:
                 self.deadline_seconds,
                 where,
                 "%.3fs elapsed" % elapsed,
+                # A fresh attempt gets a full budget; hint clients to wait
+                # for roughly one budget before retrying a timed-out query.
+                retry_after=self.deadline_seconds,
             )
 
     def check_rewrite_sweeps(self, sweeps, phase):

@@ -1,0 +1,68 @@
+"""Client-side retry policy: jittered exponential backoff.
+
+Retrying is only safe for errors the server *labels* retryable
+(:class:`~repro.errors.ServerOverloadedError`,
+:class:`~repro.errors.QueryCancelledError` from a client-initiated cancel,
+transport drops) — a parse error will fail identically forever. The server
+threads a machine-readable ``retry_after`` hint through error contexts;
+the policy honours it as a floor for the next delay.
+
+Jitter is *full jitter* (delay drawn uniformly from ``[0, backoff]``):
+synchronized clients retrying after a shed event would otherwise re-arrive
+in lockstep and shed again.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class RetryPolicy:
+    """How many times to retry and how long to sleep between attempts."""
+
+    def __init__(self, max_attempts=4, base_delay=0.05, max_delay=2.0,
+                 multiplier=2.0, rng=None):
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.multiplier = multiplier
+        self._rng = rng or random.Random()
+
+    def is_retryable(self, error):
+        """``error`` may be an exception instance or a decoded wire-error
+        dict (``{"type": ..., "retryable": ..., ...}``)."""
+        if isinstance(error, dict):
+            return bool(error.get("retryable"))
+        if isinstance(error, (ConnectionError, EOFError)):
+            return True
+        return bool(getattr(error, "retryable", False))
+
+    def should_retry(self, attempt, error):
+        """``attempt`` is 1-based: the attempt that just failed."""
+        return attempt < self.max_attempts and self.is_retryable(error)
+
+    def delay(self, attempt, retry_after=None):
+        """Sleep before attempt ``attempt + 1``. ``retry_after`` (the
+        server's hint, seconds) floors the result; jitter on top spreads
+        the herd."""
+        backoff = min(
+            self.base_delay * (self.multiplier ** (attempt - 1)),
+            self.max_delay,
+        )
+        jittered = self._rng.uniform(0.0, backoff)
+        if retry_after:
+            return min(retry_after + jittered, self.max_delay + retry_after)
+        return jittered
+
+    @staticmethod
+    def retry_after_from(error):
+        """Extract the server's ``retry_after`` hint from an exception or a
+        decoded wire-error dict, if present."""
+        if isinstance(error, dict):
+            context = error.get("context") or {}
+            return context.get("retry_after") or error.get("retry_after")
+        value = getattr(error, "retry_after", None)
+        if value is not None:
+            return value
+        context = getattr(error, "context", None) or {}
+        return context.get("retry_after") if isinstance(context, dict) else None

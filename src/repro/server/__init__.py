@@ -1,0 +1,40 @@
+"""Fault-tolerant multi-session query server.
+
+The paper argues magic sets belong in a *production* relational system;
+this package supplies the serving half of that claim: an asyncio TCP
+server speaking a length-prefixed JSON protocol, with
+
+* an adornment-keyed prepared-plan cache — rewritten + optimized QGM is
+  reused across executions and sessions, keyed on ``(statement
+  fingerprint, binding adornment, strategy, catalog version)`` so DDL
+  *invalidates* plans instead of corrupting them
+  (:mod:`repro.server.plan_cache`),
+* per-query deadlines with cooperative cancellation threaded through the
+  evaluator checkpoints (:class:`~repro.resilience.ResourceGovernor`),
+* admission control and load shedding with machine-readable
+  ``retry_after`` hints (:mod:`repro.server.admission`),
+* per-rewrite-strategy circuit breakers demoting along
+  ``emst -> phase1 -> original``
+  (:class:`~repro.resilience.StrategyBreakerBoard`),
+* a retrying client (:mod:`repro.server.client`) and a session-boundary
+  chaos harness (``python -m repro.server.chaos``).
+
+Run ``python -m repro.server --workload`` for a demo server.
+"""
+
+from repro.server.admission import AdmissionController
+from repro.server.client import QueryClient, SyncQueryClient
+from repro.server.core import QueryServer, ServerConfig
+from repro.server.plan_cache import AdornmentPlanCache, CachedPlan
+from repro.server.session import serve
+
+__all__ = [
+    "AdmissionController",
+    "AdornmentPlanCache",
+    "CachedPlan",
+    "QueryClient",
+    "QueryServer",
+    "ServerConfig",
+    "SyncQueryClient",
+    "serve",
+]

@@ -1,0 +1,104 @@
+"""``python -m repro.server`` — run the query server.
+
+By default serves an empty database; ``--workload`` preloads the paper's
+employee/department schema plus the Example 1.1 views so the server is
+immediately queryable::
+
+    python -m repro.server --workload --scale 0.2 &
+    python - <<'EOF'
+    from repro.server import SyncQueryClient
+    with SyncQueryClient() as client:
+        print(client.query(
+            "SELECT d.deptname, s.avgsalary FROM department d, avgMgrSal s "
+            "WHERE d.deptno = s.workdept AND d.deptname = ?",
+            params=["Planning"],
+        )["rows"])
+    EOF
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+
+from repro.engine import Database
+from repro.server.core import QueryServer, ServerConfig
+from repro.server.session import serve
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="Fault-tolerant multi-session query server.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7474)
+    parser.add_argument(
+        "--workload", action="store_true",
+        help="preload the paper's employee/department workload and views",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.2,
+        help="workload scale: 1.0 = the paper's 100 departments x 40 "
+             "employees (default 0.2)",
+    )
+    parser.add_argument("--max-concurrent", type=int, default=8)
+    parser.add_argument("--max-queue", type=int, default=16)
+    parser.add_argument("--deadline", type=float, default=10.0,
+                        help="default per-query deadline in seconds")
+    parser.add_argument("--cache-capacity", type=int, default=128)
+    parser.add_argument("--strategy", default="emst")
+    return parser
+
+
+def build_server(options):
+    database = Database()
+    if options.workload:
+        from repro.api import Connection
+        from repro.workloads.empdept import (
+            PAPER_VIEWS_SQL,
+            build_empdept_database,
+        )
+
+        build_empdept_database(
+            n_departments=max(int(100 * options.scale), 3),
+            employees_per_department=max(int(40 * options.scale), 2),
+            database=database,
+        )
+        Connection(database).run_script(PAPER_VIEWS_SQL)
+    config = ServerConfig(
+        host=options.host,
+        port=options.port,
+        max_concurrent=options.max_concurrent,
+        max_queue=options.max_queue,
+        default_deadline_seconds=options.deadline,
+        cache_capacity=options.cache_capacity,
+        default_strategy=options.strategy,
+    )
+    return QueryServer(database, config)
+
+
+async def _run(options):
+    server = build_server(options)
+    listener = await serve(server)
+    addresses = ", ".join(
+        "%s:%d" % sock.getsockname()[:2] for sock in listener.sockets
+    )
+    print("repro query server listening on %s" % addresses)
+    try:
+        async with listener:
+            await listener.serve_forever()
+    finally:
+        server.shutdown()
+
+
+def main(argv=None):
+    options = build_parser().parse_args(argv)
+    try:
+        asyncio.run(_run(options))
+    except KeyboardInterrupt:
+        pass
+
+
+if __name__ == "__main__":
+    main()

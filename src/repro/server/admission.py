@@ -1,0 +1,91 @@
+"""Admission control: bounded concurrency, bounded queue, load shedding.
+
+The executor pool runs ``max_concurrent`` queries; up to ``max_queue``
+more may wait behind them. Beyond that the server *sheds*: the request is
+rejected immediately with :class:`~repro.errors.ServerOverloadedError`
+carrying a machine-readable ``retry_after`` estimate — rejecting cheaply
+at the door keeps latency bounded for the queries already admitted, which
+is the difference between a slow server and a dead one.
+
+``retry_after`` is an EWMA of recent service times scaled by the backlog
+the retrying client would face: roughly how long until a pool slot frees
+up for it. Clients add jitter on top (:class:`~repro.resilience.retry.
+RetryPolicy`); the hint is a floor, not a schedule.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.errors import ServerOverloadedError
+
+
+class AdmissionController:
+    """Counts in-flight work and sheds past the queue bound (thread-safe)."""
+
+    def __init__(self, max_concurrent=8, max_queue=16,
+                 default_service_seconds=0.05, ewma_alpha=0.2, clock=None):
+        self.max_concurrent = max_concurrent
+        self.max_queue = max_queue
+        self.ewma_alpha = ewma_alpha
+        self.clock = clock or time.monotonic
+        self._lock = threading.Lock()
+        self.inflight = 0
+        self.admitted = 0
+        self.shed_count = 0
+        self.completed = 0
+        self.ewma_service_seconds = default_service_seconds
+
+    def try_admit(self):
+        """Admit or shed. Returns an opaque ticket (the admit timestamp);
+        raises :class:`ServerOverloadedError` on shed. Callers must pair
+        every successful admit with :meth:`release`."""
+        with self._lock:
+            if self.inflight >= self.max_concurrent + self.max_queue:
+                self.shed_count += 1
+                backlog = self.inflight - self.max_concurrent + 1
+                retry_after = round(
+                    self.ewma_service_seconds
+                    * max(backlog, 1)
+                    / max(self.max_concurrent, 1),
+                    4,
+                )
+                raise ServerOverloadedError(
+                    "server at capacity (%d running, %d queued); retry in "
+                    "~%.3fs" % (
+                        self.max_concurrent,
+                        self.inflight - self.max_concurrent,
+                        retry_after,
+                    ),
+                    retry_after=retry_after,
+                    queue_depth=self.inflight - self.max_concurrent,
+                    active=self.max_concurrent,
+                )
+            self.inflight += 1
+            self.admitted += 1
+            return self.clock()
+
+    def release(self, ticket):
+        """Record completion of an admitted request; folds its service
+        time into the EWMA the shed path quotes."""
+        elapsed = max(self.clock() - ticket, 0.0)
+        with self._lock:
+            self.inflight = max(self.inflight - 1, 0)
+            self.completed += 1
+            self.ewma_service_seconds = (
+                self.ewma_alpha * elapsed
+                + (1.0 - self.ewma_alpha) * self.ewma_service_seconds
+            )
+
+    def stats(self):
+        with self._lock:
+            return {
+                "inflight": self.inflight,
+                "max_concurrent": self.max_concurrent,
+                "max_queue": self.max_queue,
+                "admitted": self.admitted,
+                "completed": self.completed,
+                "shed": self.shed_count,
+                "ewma_service_seconds": round(self.ewma_service_seconds, 6),
+            }

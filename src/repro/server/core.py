@@ -1,0 +1,429 @@
+"""The engine-facing server core: caching, admission, deadlines, fallback.
+
+:class:`QueryServer` is transport-agnostic — every ``handle_*`` method is
+a plain synchronous function, called by the asyncio session layer on
+executor threads (and directly by tests, which is how the concurrency
+semantics stay testable without sockets).
+
+Concurrency model:
+
+* **queries share, DDL excludes** — a reader-writer lock gives every
+  query a stable catalog for its whole prepare + execute span, while a
+  script carrying CREATE/INSERT/DELETE/UPDATE waits for running queries
+  and runs alone. Combined with the catalog version in the plan-cache
+  key this yields snapshot-consistent reads: a query sees either the
+  catalog before a DDL or after it, never a half-applied mix, and plans
+  prepared before the DDL are unreachable after it.
+* **cache misses serialize** — preparing may register statement-scoped
+  inline views in the shared catalog; a single prepare lock makes that
+  safe. Post-warmup the hot path (clone, bind, execute) never takes it.
+* **deadlines and cancellation are cooperative** — each request gets a
+  :class:`~repro.resilience.ResourceGovernor` with a clamped deadline and
+  the session's cancel token; the evaluator checkpoints observe both.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.api import Connection, STRATEGIES
+from repro.engine import CorrelatedEvaluator, Evaluator
+from repro.errors import (
+    ExecutionError,
+    QueryCancelledError,
+    ReproError,
+    ResourceExhaustedError,
+)
+from repro.qgm import validate_graph
+from repro.qgm.clone import clone_graph
+from repro.qgm.params import bind_parameters, parameter_count
+from repro.resilience.breaker import StrategyBreakerBoard
+from repro.sql import parse_script, to_sql
+from repro.sql.parameterize import (
+    fingerprint_query,
+    parameter_slots,
+    parameterize_query,
+)
+from repro.server.admission import AdmissionController
+from repro.server.plan_cache import (
+    AdornmentPlanCache,
+    CachedPlan,
+    statement_adornment,
+)
+
+
+@dataclass
+class ServerConfig:
+    host: str = "127.0.0.1"
+    port: int = 7474
+    #: Queries executing at once; more wait in the bounded queue.
+    max_concurrent: int = 8
+    max_queue: int = 16
+    #: Deadline applied when the client sends none; client requests are
+    #: clamped to ``max_deadline_seconds`` so one session cannot opt out
+    #: of the server's latency envelope.
+    default_deadline_seconds: float = 10.0
+    max_deadline_seconds: float = 60.0
+    cache_capacity: int = 128
+    default_strategy: str = "emst"
+    breaker_failure_threshold: int = 3
+    breaker_cooldown_seconds: float = 5.0
+    #: Per-query row budget (None = unlimited) forwarded to the governor.
+    max_materialized_rows: Optional[int] = None
+
+
+class ReadWriteLock:
+    """Many readers or one writer; writers take priority (a waiting DDL
+    blocks new queries, so it cannot starve behind a query stream)."""
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    @contextlib.contextmanager
+    def read(self):
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if not self._readers:
+                    self._cond.notify_all()
+
+    @contextlib.contextmanager
+    def write(self):
+        with self._cond:
+            self._writers_waiting += 1
+            while self._writer_active or self._readers:
+                self._cond.wait()
+            self._writers_waiting -= 1
+            self._writer_active = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer_active = False
+                self._cond.notify_all()
+
+
+@dataclass
+class PreparedHandle:
+    """A server-side prepared statement: the parse/parameterize work done
+    once; plans materialize in the shared cache on first execute (and
+    rematerialize transparently after DDL bumps the catalog version)."""
+
+    sql: str
+    query: object
+    views: list
+    fingerprint: str
+    strategy: str
+    param_count: int
+    #: Values auto-extracted from literals; explicit ``?`` bindings from
+    #: the client are prepended at execute time.
+    extracted_values: list = field(default_factory=list)
+
+
+def _script_fingerprint(views, query):
+    """Fingerprint of a parameterized query *plus* its inline views: two
+    scripts whose SELECTs match but whose CREATE VIEWs differ must never
+    share a cached plan."""
+    if not views:
+        return fingerprint_query(query)
+    digest = hashlib.sha256()
+    for view in views:
+        digest.update(to_sql(view).encode("utf-8"))
+        digest.update(b";")
+    digest.update(to_sql(query).encode("utf-8"))
+    return digest.hexdigest()[:24]
+
+
+class QueryServer:
+    """Shared-database, multi-session query service (transport-agnostic)."""
+
+    def __init__(self, database, config=None, governor_factory=None):
+        self.database = database
+        self.config = config or ServerConfig()
+        self.connection = Connection(database)
+        self.cache = AdornmentPlanCache(capacity=self.config.cache_capacity)
+        self.admission = AdmissionController(
+            max_concurrent=self.config.max_concurrent,
+            max_queue=self.config.max_queue,
+        )
+        self.breakers = StrategyBreakerBoard(
+            failure_threshold=self.config.breaker_failure_threshold,
+            cooldown_seconds=self.config.breaker_cooldown_seconds,
+        )
+        self.lock = ReadWriteLock()
+        self._prepare_lock = threading.Lock()
+        self._governor_factory = governor_factory
+        self.executor = ThreadPoolExecutor(
+            max_workers=self.config.max_concurrent,
+            thread_name_prefix="repro-query",
+        )
+        self._stats_lock = threading.Lock()
+        self.queries_ok = 0
+        self.queries_failed = 0
+        self.cancellations = 0
+        self.deadline_trips = 0
+        self.fallbacks = 0
+
+    # -- request entry points (called on executor threads) -----------------------
+
+    def handle_query(self, sql, params=None, strategy=None, deadline=None,
+                     cancel_event=None):
+        """One-shot: parse, cache-or-prepare, bind, execute."""
+        script = parse_script(sql)
+        from repro.sql.ast import CreateView, Query
+
+        if any(
+            not isinstance(s, (CreateView, Query)) for s in script.statements
+        ):
+            raise ReproError(
+                "the query op accepts SELECTs (with optional inline views); "
+                "send DDL/DML through the script op"
+            )
+        if len(script.queries) != 1:
+            raise ReproError(
+                "expected exactly one query, got %d" % len(script.queries)
+            )
+        handle = self._make_handle(sql, script, strategy)
+        return self.handle_execute(
+            handle, params, deadline=deadline, cancel_event=cancel_event
+        )
+
+    def handle_prepare(self, sql, strategy=None):
+        """Parse + parameterize once; returns a :class:`PreparedHandle`
+        plus its wire description. Plans land in the shared cache on first
+        execute."""
+        script = parse_script(sql)
+        from repro.sql.ast import CreateView, Query
+
+        if len(script.queries) != 1 or any(
+            not isinstance(s, (CreateView, Query)) for s in script.statements
+        ):
+            raise ReproError(
+                "prepare accepts exactly one SELECT (plus inline views)"
+            )
+        handle = self._make_handle(sql, script, strategy)
+        explicit = handle.param_count - len(handle.extracted_values)
+        return handle, {
+            "fingerprint": handle.fingerprint,
+            "strategy": handle.strategy,
+            "param_count": max(explicit, 0),
+        }
+
+    def handle_execute(self, handle, params=None, deadline=None,
+                       cancel_event=None):
+        """Execute a prepared handle with bound values."""
+        values = list(params or []) + list(handle.extracted_values)
+        governor = self._make_governor(deadline, cancel_event)
+        started = time.perf_counter()
+        chain = self._fallback_chain(self.breakers.select(handle.strategy))
+        last_error = None
+        with self.lock.read():
+            for attempt, candidate in enumerate(chain):
+                try:
+                    response = self._run_once(
+                        handle, candidate, values, governor
+                    )
+                except (ResourceExhaustedError, QueryCancelledError) as exc:
+                    # Budget and cancellation trips are not the strategy's
+                    # fault and would recur under any strategy: no fallback.
+                    self._note_failure(exc)
+                    raise
+                except Exception as exc:
+                    self.breakers.record_failure(candidate, exc)
+                    last_error = exc
+                    continue
+                self.breakers.record_success(candidate)
+                with self._stats_lock:
+                    self.queries_ok += 1
+                    if attempt:
+                        self.fallbacks += attempt
+                response["requested_strategy"] = handle.strategy
+                response["executed_strategy"] = candidate
+                response["elapsed_seconds"] = round(
+                    time.perf_counter() - started, 6
+                )
+                return response
+        self._note_failure(last_error)
+        raise last_error
+
+    def handle_script(self, sql):
+        """DDL/DML script: runs alone (write lock). Cached plans made
+        stale by it become unreachable via the catalog version bump."""
+        with self.lock.write():
+            before = self.database.schema_version()
+            outcome = self.connection.run_script(sql)
+            response = {
+                "catalog_version": self.database.schema_version(),
+                "ddl": self.database.schema_version() != before,
+            }
+            if outcome is not None:
+                response["columns"] = list(outcome.columns)
+                response["rows"] = [list(row) for row in outcome.rows]
+            return response
+
+    def handle_stats(self):
+        with self._stats_lock:
+            counters = {
+                "queries_ok": self.queries_ok,
+                "queries_failed": self.queries_failed,
+                "cancellations": self.cancellations,
+                "deadline_trips": self.deadline_trips,
+                "fallbacks": self.fallbacks,
+            }
+        return {
+            "counters": counters,
+            "cache": self.cache.stats(),
+            "admission": self.admission.stats(),
+            "breakers": self.breakers.snapshot(),
+            "catalog_version": self.database.schema_version(),
+            "table_versions": self.database.table_versions(),
+        }
+
+    def shutdown(self):
+        self.executor.shutdown(wait=True)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _make_handle(self, sql, script, strategy):
+        strategy = strategy or self.config.default_strategy
+        if strategy not in STRATEGIES:
+            raise ReproError(
+                "unknown strategy %r (expected one of %s)"
+                % (strategy, ", ".join(STRATEGIES))
+            )
+        query = script.queries[0]
+        extracted = parameterize_query(query)
+        return PreparedHandle(
+            sql=sql,
+            query=query,
+            views=list(script.views),
+            fingerprint=_script_fingerprint(script.views, query),
+            strategy=strategy,
+            param_count=parameter_slots(query),
+            extracted_values=extracted,
+        )
+
+    def _make_governor(self, deadline, cancel_event):
+        clamped = min(
+            deadline if deadline is not None
+            else self.config.default_deadline_seconds,
+            self.config.max_deadline_seconds,
+        )
+        if self._governor_factory is not None:
+            governor = self._governor_factory()
+            governor.deadline_seconds = clamped
+        else:
+            from repro.resilience import ResourceGovernor
+
+            governor = ResourceGovernor(
+                deadline_seconds=clamped,
+                max_materialized_rows=self.config.max_materialized_rows,
+            )
+        governor.begin_query()
+        if cancel_event is not None:
+            governor.attach_cancel_token(cancel_event, "client disconnected")
+        return governor
+
+    def _fallback_chain(self, start):
+        """The strategies to attempt, starting at the breaker's pick."""
+        chain = list(self.breakers.chain)
+        if start not in chain:
+            return [start]
+        return chain[chain.index(start):]
+
+    def _entry_for(self, handle, strategy, governor):
+        """Cache lookup, preparing (serialized) on a miss. Runs under the
+        read lock: the catalog version read here stays valid for the whole
+        execution."""
+        catalog_version = self.database.schema_version()
+        entry = self.cache.lookup(handle.fingerprint, strategy, catalog_version)
+        if entry is not None:
+            return entry, True
+        with self._prepare_lock:
+            # Another thread may have prepared it while we waited.
+            entry = self.cache.lookup(
+                handle.fingerprint, strategy, catalog_version
+            )
+            if entry is not None:
+                return entry, True
+            governor.checkpoint("prepare of %s" % handle.fingerprint)
+            with self.database.catalog.scoped_views(handle.views):
+                graph, plan, heuristic, _ = self.connection.prepare(
+                    handle.query, strategy
+                )
+            validate_graph(graph)
+            entry = CachedPlan(
+                fingerprint=handle.fingerprint,
+                adornment=statement_adornment(graph),
+                strategy=strategy,
+                catalog_version=catalog_version,
+                graph=graph,
+                plan=plan,
+                heuristic=heuristic,
+                param_count=parameter_count(graph),
+                table_versions=self.database.table_versions(),
+            )
+            self.cache.store(entry)
+            return entry, False
+
+    def _run_once(self, handle, strategy, values, governor):
+        entry, cache_hit = self._entry_for(handle, strategy, governor)
+        if handle.param_count > len(values):
+            raise ExecutionError(
+                "statement expects %d parameter(s), got %d"
+                % (
+                    handle.param_count - len(handle.extracted_values),
+                    len(values) - len(handle.extracted_values),
+                )
+            )
+        if values and entry.param_count:
+            graph = bind_parameters(clone_graph(entry.graph), values)
+        else:
+            graph = entry.graph
+        join_orders = entry.plan.join_orders if entry.plan is not None else None
+        if strategy == "correlated":
+            evaluator = CorrelatedEvaluator(
+                graph, self.database, join_orders=join_orders,
+                governor=governor,
+            )
+        else:
+            evaluator = Evaluator(
+                graph, self.database, join_orders=join_orders,
+                memoize_correlated=(strategy == "emst"),
+                governor=governor,
+            )
+        result = evaluator.run()
+        return {
+            "columns": list(result.columns),
+            "rows": [list(row) for row in result.rows],
+            "row_count": len(result.rows),
+            "cache": "hit" if cache_hit else "miss",
+            "fingerprint": entry.fingerprint,
+            "adornment": entry.adornment,
+            "stale_tables": entry.staleness(self.database.table_versions()),
+        }
+
+    def _note_failure(self, exc):
+        with self._stats_lock:
+            self.queries_failed += 1
+            if isinstance(exc, QueryCancelledError):
+                self.cancellations += 1
+            elif isinstance(exc, ResourceExhaustedError) and getattr(
+                exc, "limit", None
+            ) == "deadline_seconds":
+                self.deadline_trips += 1

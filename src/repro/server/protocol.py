@@ -1,0 +1,145 @@
+"""Wire protocol: 4-byte big-endian length-prefixed JSON frames.
+
+Every frame is ``struct.pack(">I", len(payload)) + payload`` where
+``payload`` is UTF-8 JSON. Requests are objects with an ``op`` plus
+op-specific fields; responses either carry ``"ok": true`` and a result,
+or ``"ok": false`` and an ``error`` object::
+
+    {"op": "query",   "sql": "...", "strategy": "emst", "deadline": 2.0}
+    {"op": "prepare", "sql": "SELECT ... WHERE x = ?"}
+    {"op": "execute", "statement": 3, "params": [17]}
+    {"op": "script",  "sql": "CREATE TABLE ...; INSERT ..."}
+    {"op": "stats"} | {"op": "ping"} | {"op": "close"}
+
+Error objects are structured for machine consumption — ``type``,
+``message``, ``retryable`` and ``retry_after`` let the client decide
+whether (and when) to retry without parsing prose::
+
+    {"type": "ServerOverloadedError", "message": "...",
+     "retryable": true, "retry_after": 0.12, "context": {...}}
+
+The length prefix bounds the damage a slow or malicious client can do:
+frames above :data:`MAX_FRAME_BYTES` are rejected before the payload is
+read into memory.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+from repro.errors import ReproError
+
+#: Hard cap on a single frame; protects the server from one client
+#: streaming an unbounded payload (and the client from a corrupted
+#: length prefix that decodes as gigabytes).
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+HEADER_BYTES = _HEADER.size
+
+
+class ProtocolError(ReproError):
+    """Malformed frame: oversized, truncated, or not valid JSON."""
+
+
+def encode_frame(message):
+    """Serialize a dict into a length-prefixed frame (bytes)."""
+    payload = json.dumps(message, separators=(",", ":"), default=str).encode(
+        "utf-8"
+    )
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            "frame of %d bytes exceeds the %d byte limit"
+            % (len(payload), MAX_FRAME_BYTES)
+        )
+    return _HEADER.pack(len(payload)) + payload
+
+
+def decode_length(header):
+    """Validate and decode the 4-byte header; returns the payload size."""
+    if len(header) != HEADER_BYTES:
+        raise ProtocolError(
+            "truncated frame header (%d of %d bytes)"
+            % (len(header), HEADER_BYTES)
+        )
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            "declared frame of %d bytes exceeds the %d byte limit"
+            % (length, MAX_FRAME_BYTES)
+        )
+    return length
+
+
+def decode_payload(payload):
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError("frame payload is not valid JSON: %s" % exc)
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            "frame payload must be a JSON object, got %s"
+            % type(message).__name__
+        )
+    return message
+
+
+async def read_frame(reader):
+    """Read one frame from an asyncio stream reader; None at clean EOF."""
+    import asyncio
+
+    try:
+        header = await reader.readexactly(HEADER_BYTES)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError(
+            "connection dropped mid-header (%d bytes)" % len(exc.partial)
+        )
+    length = decode_length(header)
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            "connection dropped mid-frame (%d of %d bytes)"
+            % (len(exc.partial), length)
+        )
+    return decode_payload(payload)
+
+
+def error_to_wire(exc):
+    """Serialize an exception into the structured wire-error object."""
+    context = getattr(exc, "context", None)
+    wire = {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "retryable": bool(getattr(exc, "retryable", False)),
+    }
+    retry_after = getattr(exc, "retry_after", None)
+    if retry_after is None and isinstance(context, dict):
+        retry_after = context.get("retry_after")
+    if retry_after is not None:
+        wire["retry_after"] = retry_after
+    if isinstance(context, dict) and context:
+        wire["context"] = {
+            key: value
+            for key, value in context.items()
+            if isinstance(value, (str, int, float, bool, type(None), list))
+        }
+    return wire
+
+
+def ok(request_id, **fields):
+    response = {"ok": True}
+    if request_id is not None:
+        response["id"] = request_id
+    response.update(fields)
+    return response
+
+
+def error(request_id, exc):
+    response = {"ok": False, "error": error_to_wire(exc)}
+    if request_id is not None:
+        response["id"] = request_id
+    return response

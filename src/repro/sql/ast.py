@@ -37,6 +37,17 @@ class Literal(Expr):
 
 
 @dataclass
+class Parameter(Expr):
+    """A positional prepared-statement parameter (``?``), 0-indexed in
+    textual order. Bound to a value at execute time."""
+
+    index: int
+
+    def __str__(self):
+        return "?"
+
+
+@dataclass
 class ColumnRef(Expr):
     """A possibly-qualified column reference ``[table.]column``."""
 

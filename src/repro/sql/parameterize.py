@@ -1,0 +1,110 @@
+"""Auto-parameterization: extract literal constants from a parsed query.
+
+The serving layer caches rewritten plans keyed on the statement *shape*,
+not its constants — magic sets bind parameters, and two queries differing
+only in ``deptname = 'Planning'`` vs ``deptname = 'Shipping'`` must share
+one cached plan. :func:`parameterize_query` walks a parsed
+:class:`~repro.sql.ast.Query`, replaces every number and string literal
+with a positional :class:`~repro.sql.ast.Parameter` (in textual order),
+and returns the extracted values; :func:`fingerprint_query` renders the
+parameterized AST back to canonical SQL and hashes it.
+
+``NULL``, ``TRUE`` and ``FALSE`` are *not* extracted: their values are
+semantically load-bearing for the rewrite pipeline (null-rejection
+analysis, boolean simplification), so hiding them behind a parameter
+could pin a plan that is only valid for one value.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+
+from repro.sql import ast
+
+
+def _extractable(literal):
+    value = literal.value
+    if value is None or isinstance(value, bool):
+        return False
+    return isinstance(value, (int, float, str))
+
+
+def _walk_fields(node, replace):
+    """Recursively visit dataclass fields, lists and tuples, replacing
+    extractable :class:`ast.Literal` nodes via ``replace``. Traversal
+    order matches the parser's textual order because dataclass fields are
+    declared in source order."""
+
+    def visit(value):
+        if isinstance(value, ast.Literal):
+            return replace(value) if _extractable(value) else value
+        if isinstance(value, ast.Node):
+            _walk_fields(value, replace)
+            return value
+        if isinstance(value, list):
+            return [visit(item) for item in value]
+        if isinstance(value, tuple):
+            return tuple(visit(item) for item in value)
+        return value
+
+    for field in dataclasses.fields(node):
+        setattr(node, field.name, visit(getattr(node, field.name)))
+
+
+def parameterize_query(query):
+    """Replace literals in ``query`` (mutated in place) with positional
+    parameters; returns the list of extracted values.
+
+    Existing ``?`` parameters are preserved and extraction continues after
+    the highest pre-existing index, so a half-parameterized statement
+    stays consistent (the returned values cover only the new slots and
+    callers must prepend the explicit bindings)."""
+    next_index = [0]
+    for node in _nodes(query):
+        if isinstance(node, ast.Parameter):
+            next_index[0] = max(next_index[0], node.index + 1)
+    values = []
+
+    def replace(literal):
+        parameter = ast.Parameter(index=next_index[0])
+        next_index[0] += 1
+        values.append(literal.value)
+        return parameter
+
+    _walk_fields(query, replace)
+    return values
+
+
+def _nodes(node):
+    yield node
+    for field in dataclasses.fields(node):
+        value = getattr(node, field.name)
+        items = value if isinstance(value, (list, tuple)) else [value]
+        for item in items:
+            if isinstance(item, tuple):
+                for sub in item:
+                    if isinstance(sub, ast.Node):
+                        yield from _nodes(sub)
+            elif isinstance(item, ast.Node):
+                yield from _nodes(item)
+
+
+def parameter_slots(query):
+    """Number of parameter slots in a (parameterized) query AST: highest
+    :class:`ast.Parameter` index + 1, zero when parameter-free."""
+    highest = -1
+    for node in _nodes(query):
+        if isinstance(node, ast.Parameter):
+            highest = max(highest, node.index)
+    return highest + 1
+
+
+def fingerprint_query(query):
+    """A stable hex fingerprint of the (parameterized) query's canonical
+    SQL rendering. Two textually different queries that parse to the same
+    shape — whitespace, comments, literal spelling — share a fingerprint."""
+    from repro.sql.printer import to_sql
+
+    canonical = to_sql(query)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:24]

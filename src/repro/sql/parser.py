@@ -25,6 +25,9 @@ class Parser:
     def __init__(self, text):
         self.tokens = tokenize(text)
         self.index = 0
+        # Positional ``?`` parameters, numbered in textual order across the
+        # whole script (prepared statements carry a single parameter list).
+        self.parameter_count = 0
 
     # -- token helpers -------------------------------------------------------
 
@@ -567,6 +570,11 @@ class Parser:
             return ast.Literal(value=True)
         if self._accept_keyword("FALSE"):
             return ast.Literal(value=False)
+        if self._check(TokenKind.SYMBOL, "?"):
+            self._advance()
+            parameter = ast.Parameter(index=self.parameter_count)
+            self.parameter_count += 1
+            return parameter
         if self._check_keyword("EXISTS"):
             self._advance()
             self._expect(TokenKind.SYMBOL, "(")

@@ -40,6 +40,8 @@ def _format_literal(value):
 
 def expr_to_sql(expr, parent_precedence=0):
     """Render an expression node to SQL text."""
+    if isinstance(expr, ast.Parameter):
+        return "?"
     if isinstance(expr, ast.Literal):
         return _format_literal(expr.value)
     if isinstance(expr, ast.ColumnRef):

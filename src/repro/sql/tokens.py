@@ -79,7 +79,7 @@ KEYWORDS = frozenset(
 #: Multi-character operators, longest first so the lexer can match greedily.
 MULTI_CHAR_SYMBOLS = ("<>", "<=", ">=", "!=", "||")
 
-SINGLE_CHAR_SYMBOLS = frozenset("()+-*/%,.<>=;")
+SINGLE_CHAR_SYMBOLS = frozenset("()+-*/%,.<>=;?")
 
 
 @dataclass(frozen=True)

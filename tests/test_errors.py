@@ -33,7 +33,7 @@ def test_lex_error_carries_position():
     from repro.sql import tokenize
 
     with pytest.raises(LexError) as info:
-        tokenize("select ?")
+        tokenize("select @")
     assert "line 1" in str(info.value)
 
 

@@ -93,7 +93,7 @@ def test_line_and_column_tracking():
 
 def test_unexpected_character_raises_with_position():
     with pytest.raises(LexError) as info:
-        tokenize("a ? b")
+        tokenize("a @ b")
     assert info.value.line == 1
     assert info.value.column == 3
 
