@@ -16,6 +16,10 @@ Diagnostic codes are allocated in blocks by pass:
   (:mod:`repro.analysis.magic_checks`)
 * ``QGM5xx`` — interbox dataflow facts: adornment justification,
   redundant DISTINCT, nullability (:mod:`repro.analysis.dataflow_checks`)
+* ``QGM6xx`` — chase-based semantic equivalence: translation-validation
+  refutations and dependency-implied redundancies
+  (:mod:`repro.analysis.equivalence`,
+  :mod:`repro.analysis.equivalence_checks`)
 
 ``CODES`` is the authoritative registry: every emitted code must appear
 there (the framework enforces it), and ``docs/diagnostics.md`` documents
@@ -91,6 +95,10 @@ CODES: Dict[str, str] = {
     "QGM501": "adornment claims a binding no dataflow path justifies",
     "QGM502": "DISTINCT enforcement is provably redundant",
     "QGM503": "output column is NULL in every row",
+    # -- semantic equivalence (QGM6xx) -----------------------------------------
+    "QGM601": "rewrite firing refuted by chase-based translation validation",
+    "QGM602": "join is semantically redundant under the declared dependencies",
+    "QGM603": "predicate is implied by the declared dependencies",
 }
 
 

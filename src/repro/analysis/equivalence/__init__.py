@@ -1,0 +1,65 @@
+"""Chase-based semantic equivalence checking.
+
+The rewrite engine's soundness story used to rest on *structural*
+analysis diffs: a rule that produced a well-formed but semantically wrong
+graph slipped through. This package decides **semantic** equivalence of
+conjunctive QGM regions the classical way ("Equivalence of SQL Queries in
+Presence of Embedded Dependencies", arXiv 0812.2195):
+
+1. canonicalize SELECT boxes (and DISTINCT/UNION compositions of them)
+   into *tableaux* — conjunctive queries over the base tables
+   (:mod:`.tableau`),
+2. collect the embedded dependencies the catalog declares — functional
+   dependencies from PRIMARY KEY / UNIQUE, inclusion dependencies from
+   FOREIGN KEY (:mod:`.dependencies`),
+3. *chase* each tableau to fixpoint with those dependencies
+   (:mod:`.chase`), and
+4. decide containment both ways by budgeted homomorphism search
+   (:mod:`.containment`), returning one of the three verdicts
+   ``VERIFIED`` / ``REFUTED`` / ``UNKNOWN`` (:mod:`.checker`).
+
+Every step is deterministic and budget-bounded, so a verdict is a pure
+function of (graph, catalog, budget). ``UNKNOWN`` is always a safe
+answer; ``REFUTED`` comes with a frozen counterexample database.
+"""
+
+from repro.analysis.equivalence.chase import ChaseBudget, chase
+from repro.analysis.equivalence.checker import (
+    REFUTED,
+    UNKNOWN,
+    VERIFIED,
+    EquivalenceChecker,
+    EquivalenceVerdict,
+)
+from repro.analysis.equivalence.dependencies import (
+    DependencySet,
+    FunctionalDependency,
+    InclusionDependency,
+    dependencies_from_catalog,
+)
+from repro.analysis.equivalence.tableau import (
+    CannotCanonicalize,
+    CanonicalQuery,
+    Tableau,
+    canonicalize_box,
+    canonicalize_graph,
+)
+
+__all__ = [
+    "ChaseBudget",
+    "CannotCanonicalize",
+    "CanonicalQuery",
+    "DependencySet",
+    "EquivalenceChecker",
+    "EquivalenceVerdict",
+    "FunctionalDependency",
+    "InclusionDependency",
+    "REFUTED",
+    "Tableau",
+    "UNKNOWN",
+    "VERIFIED",
+    "canonicalize_box",
+    "canonicalize_graph",
+    "chase",
+    "dependencies_from_catalog",
+]

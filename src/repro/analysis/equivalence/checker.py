@@ -1,0 +1,333 @@
+"""Three-valued semantic equivalence verdicts.
+
+:class:`EquivalenceChecker` is the façade the rewrite engine and the
+analysis passes use. ``check_graphs(before, after)`` (and the box-level
+``check_boxes``) returns an :class:`EquivalenceVerdict`:
+
+* ``VERIFIED`` — the two regions provably return the same rows on every
+  database satisfying the catalog's declared dependencies. The ``bag``
+  flag records whether *multiset* equality was proven (isomorphism of
+  chased bag-exact tableaux) or set equality of provably duplicate-free
+  queries.
+* ``REFUTED`` — a concrete counterexample database was frozen out of a
+  chased witness tableau: it satisfies every declared constraint, one
+  side produces the witness row on it and the other side cannot. This is
+  only issued when the chase completed, the witness carries no
+  uninterpreted builtins, and the *repaired* witness (chased with every
+  FK, including nullable ones) still admits no homomorphism — so an
+  ``REFUTED`` verdict is a checkable artifact, not a heuristic.
+* ``UNKNOWN`` — out of fragment, out of budget, or simply not provable
+  from the declared dependencies. Always safe.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.analysis.equivalence.chase import ChaseBudget, chase
+from repro.analysis.equivalence.containment import (
+    HOM_BUDGET,
+    HOM_FOUND,
+    HOM_NONE,
+    find_homomorphism,
+    is_isomorphic,
+)
+from repro.analysis.equivalence.dependencies import dependencies_from_catalog
+from repro.analysis.equivalence.tableau import (
+    CannotCanonicalize,
+    Const,
+    canonicalize_box,
+    canonicalize_graph,
+    probe_implied_equality,
+)
+from repro.errors import QgmError
+
+VERIFIED = "VERIFIED"
+REFUTED = "REFUTED"
+UNKNOWN = "UNKNOWN"
+
+
+@dataclass
+class EquivalenceVerdict:
+    """Outcome of one equivalence check."""
+
+    status: str
+    reason: str = ""
+    #: True when multiset (bag) equality was proven, not just set equality.
+    bag: bool = False
+    #: For REFUTED: {"tables": {name: [row, ...]}, "row": tuple,
+    #: "missing_from": "left"/"right"} — a concrete database satisfying
+    #: the declared dependencies on which the two sides disagree.
+    counterexample: Optional[dict] = None
+    seconds: float = 0.0
+
+    def describe(self):
+        text = self.status
+        if self.status == VERIFIED:
+            text += " (bag)" if self.bag else " (set)"
+        if self.reason:
+            text += ": " + self.reason
+        return text
+
+
+class EquivalenceChecker:
+    """Chase-based equivalence decision procedure over one catalog."""
+
+    def __init__(self, catalog=None, budget=None):
+        self.catalog = catalog
+        self.budget = budget or ChaseBudget()
+        self.deps = dependencies_from_catalog(catalog)
+        #: verdict status -> count, for observability.
+        self.counts: Dict[str, int] = {VERIFIED: 0, REFUTED: 0, UNKNOWN: 0}
+        self.seconds = 0.0
+
+    # -- public entry points -------------------------------------------------
+
+    def check_graphs(self, before, after):
+        """Verdict on whole query graphs (their top boxes)."""
+        return self._timed(self._check_canonicalizable, before, after, True)
+
+    def check_boxes(self, before, after):
+        """Verdict on two boxes read as standalone queries.
+
+        Sound for judging an in-place box rewrite as long as the box's
+        region is self-contained (canonicalization rejects correlated
+        references that escape it)."""
+        return self._timed(self._check_canonicalizable, before, after, False)
+
+    def implied_equality(self, box, predicate):
+        """True when ``predicate`` (a simple column equality of ``box``)
+        is already implied by the other predicates plus the declared
+        dependencies — i.e. the chase of the box *without* it equates the
+        two sides."""
+        try:
+            probe = probe_implied_equality(box, predicate)
+            if probe is None:
+                return False
+            tableau, left_index, right_index = probe
+            if tableau.unsatisfiable:
+                return True
+            chased = chase(tableau, self.deps, self.budget)
+            if chased.unsatisfiable:
+                return True
+            return chased.head[left_index] == chased.head[right_index]
+        except (CannotCanonicalize, QgmError):
+            return False
+
+    # -- core ---------------------------------------------------------------
+
+    def _timed(self, fn, before, after, whole_graph):
+        start = time.perf_counter()
+        verdict = fn(before, after, whole_graph)
+        verdict.seconds = time.perf_counter() - start
+        self.counts[verdict.status] = self.counts.get(verdict.status, 0) + 1
+        self.seconds += verdict.seconds
+        return verdict
+
+    def _check_canonicalizable(self, before, after, whole_graph):
+        canonicalize = canonicalize_graph if whole_graph else canonicalize_box
+        try:
+            left = canonicalize(before, max_disjuncts=self.budget.max_disjuncts)
+        except (CannotCanonicalize, QgmError) as exc:
+            return EquivalenceVerdict(UNKNOWN, "before side: %s" % exc)
+        try:
+            right = canonicalize(after, max_disjuncts=self.budget.max_disjuncts)
+        except (CannotCanonicalize, QgmError) as exc:
+            return EquivalenceVerdict(UNKNOWN, "after side: %s" % exc)
+        return self.check_queries(left, right)
+
+    def check_queries(self, left, right):
+        """Verdict on two already-canonicalized queries."""
+        if left.arity != right.arity:
+            return EquivalenceVerdict(
+                REFUTED, "output arity differs (%d vs %d)" % (left.arity, right.arity)
+            )
+
+        left_pairs = self._chase_disjuncts(left)
+        right_pairs = self._chase_disjuncts(right)
+
+        if not left_pairs and not right_pairs:
+            return EquivalenceVerdict(VERIFIED, "both sides provably empty", bag=True)
+
+        # Multiset equivalence: single conjunctive blocks with exact bag
+        # bookkeeping that chase into isomorphic tableaux.
+        if (
+            len(left_pairs) == 1
+            and len(right_pairs) == 1
+            and left.bag_exact
+            and right.bag_exact
+            and left_pairs[0][1].bag_exact
+            and right_pairs[0][1].bag_exact
+        ):
+            status = is_isomorphic(left_pairs[0][1], right_pairs[0][1], self.budget)
+            if status == HOM_FOUND:
+                return EquivalenceVerdict(
+                    VERIFIED, "chased tableaux are isomorphic", bag=True
+                )
+
+        forward, forward_witness = self._contained(left_pairs, right_pairs)
+        backward, backward_witness = self._contained(right_pairs, left_pairs)
+
+        if forward == "ok" and backward == "ok":
+            if left.duplicate_free and right.duplicate_free:
+                return EquivalenceVerdict(
+                    VERIFIED,
+                    "set-equivalent and both sides are duplicate-free",
+                )
+            return EquivalenceVerdict(
+                UNKNOWN,
+                "set-equivalent, but duplicate multiplicities are not provably equal",
+            )
+
+        for direction, state, witness in (
+            ("right", forward, forward_witness),
+            ("left", backward, backward_witness),
+        ):
+            if state == "witness":
+                other = right_pairs if direction == "right" else left_pairs
+                verdict = self._try_refute(witness, other, missing_from=direction)
+                if verdict is not None:
+                    return verdict
+
+        if "budget" in (forward, backward):
+            return EquivalenceVerdict(UNKNOWN, "homomorphism budget exhausted")
+        return EquivalenceVerdict(
+            UNKNOWN, "containment not provable from the declared dependencies"
+        )
+
+    def _chase_disjuncts(self, query):
+        """[(original, chased)] for the satisfiable disjuncts."""
+        pairs = []
+        for tableau in query.disjuncts:
+            if tableau.unsatisfiable:
+                continue
+            chased = chase(tableau, self.deps, self.budget)
+            if chased.unsatisfiable:
+                continue
+            pairs.append((tableau, chased))
+        return pairs
+
+    def _contained(self, left_pairs, right_pairs):
+        """Is every left disjunct contained in the union of the right side?
+
+        Returns ("ok", None), ("budget", None), or ("witness", chased
+        tableau) — the witness being a left disjunct no right disjunct
+        maps into (the classical chased-canonical-database argument).
+        """
+        saw_budget = False
+        for _, chased in left_pairs:
+            found = False
+            disjunct_budget = False
+            for original, _ in right_pairs:
+                status, _ = find_homomorphism(original, chased, self.budget)
+                if status == HOM_FOUND:
+                    found = True
+                    break
+                if status == HOM_BUDGET:
+                    disjunct_budget = True
+            if found:
+                continue
+            if disjunct_budget:
+                saw_budget = True
+                continue
+            return "witness", chased
+        return ("budget" if saw_budget else "ok"), None
+
+    def _try_refute(self, witness, other_pairs, missing_from):
+        """Build a counterexample from ``witness`` or return None (UNKNOWN
+        stays the verdict).
+
+        Refutation demands certainty: complete chase, no uninterpreted
+        builtins on the witness, and — after repairing the witness with
+        *every* declared FK (nullable ones included) — still no atoms-only
+        homomorphism from any disjunct of the other side.
+        """
+        if not witness.chase_complete or witness.has_builtins():
+            return None
+        repaired = chase(witness, self.deps, self.budget, repair=True)
+        if repaired.unsatisfiable or not repaired.chase_complete:
+            return None
+        for original, _ in other_pairs:
+            status, _ = find_homomorphism(
+                original, repaired, self.budget, atoms_only=True
+            )
+            if status != HOM_NONE:
+                return None
+        counterexample = self._freeze(repaired)
+        counterexample["missing_from"] = missing_from
+        side = "before" if missing_from == "right" else "after"
+        return EquivalenceVerdict(
+            REFUTED,
+            "the %s side produces row %r on the frozen counterexample "
+            "database; the other side cannot" % (side, counterexample["row"]),
+            counterexample=counterexample,
+        )
+
+    def _freeze(self, tableau):
+        """Turn a chased, builtin-free tableau into a concrete database."""
+        used = set()
+        for atom in tableau.atoms:
+            for term in atom.terms:
+                if isinstance(term, Const):
+                    used.add(term.value)
+        for term in tableau.head:
+            if isinstance(term, Const):
+                used.add(term.value)
+
+        assignment = {}
+        counters = {"INT": 7001, "FLOAT": 7001, "STR": 1, "ANY": 9001}
+
+        def freeze_var(type_name):
+            family = type_name.upper() if type_name else "ANY"
+            if family not in counters:
+                family = "ANY"
+            while True:
+                count = counters[family]
+                counters[family] = count + 1
+                if family == "FLOAT":
+                    value = count + 0.5
+                elif family == "STR":
+                    value = "cx%04d" % count
+                else:
+                    value = count
+                if value not in used:
+                    used.add(value)
+                    return value
+
+        tables = {}
+        for atom in tableau.atoms:
+            schema = tableau.schemas.get(atom.relation)
+            row = []
+            for ordinal, term in enumerate(atom.terms):
+                if isinstance(term, Const):
+                    row.append(term.value)
+                    continue
+                if term not in assignment:
+                    type_name = "ANY"
+                    if schema is not None and ordinal < len(schema.columns):
+                        type_name = schema.columns[ordinal].type_name
+                    assignment[term] = freeze_var(type_name)
+                row.append(assignment[term])
+            tables.setdefault(atom.relation, []).append(tuple(row))
+
+        row = []
+        for term in tableau.head:
+            if isinstance(term, Const):
+                row.append(term.value)
+            else:
+                if term not in assignment:
+                    assignment[term] = freeze_var("ANY")
+                row.append(assignment[term])
+        row = tuple(row)
+        return {"tables": tables, "row": row}
+
+
+__all__ = [
+    "EquivalenceChecker",
+    "EquivalenceVerdict",
+    "REFUTED",
+    "UNKNOWN",
+    "VERIFIED",
+]

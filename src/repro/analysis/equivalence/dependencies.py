@@ -1,0 +1,118 @@
+"""Embedded dependencies harvested from catalog declarations.
+
+Two families feed the chase:
+
+* **Functional dependencies** (equality-generating): every PRIMARY KEY or
+  UNIQUE declaration ``K`` of table ``T`` yields ``T: K -> all columns``.
+  SQL's UNIQUE admits multiple NULL key values, so a key only yields a
+  sound FD when every key column is declared NOT NULL — otherwise two
+  distinct rows may "agree" on the key in the labelled-null reading while
+  disagreeing in a real database.
+
+* **Inclusion dependencies** (tuple-generating): every FOREIGN KEY whose
+  referenced columns cover a declared key of the parent yields
+  ``child[cols] ⊆ parent[ref_cols]``. A nullable FK column makes the
+  inclusion conditional (rows with NULL are exempt), so such INDs are
+  excluded from the proving set and kept in ``repair_inds``: they are
+  still *satisfiable* constraints any real database obeys on its non-NULL
+  rows, which is exactly what the counterexample repair chase needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class FunctionalDependency:
+    """``table``: the columns at ``determinant`` ordinals determine the
+    whole row (key-based, so the dependent set is every column)."""
+
+    table: str
+    determinant: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class InclusionDependency:
+    """``child`` values at ``child_cols`` appear in ``parent`` at
+    ``parent_cols`` (which cover a key of the parent)."""
+
+    child: str
+    child_cols: Tuple[int, ...]
+    parent: str
+    parent_cols: Tuple[int, ...]
+
+
+@dataclass
+class DependencySet:
+    """All dependencies of a catalog, indexed for the chase."""
+
+    fds: Dict[str, List[FunctionalDependency]] = field(default_factory=dict)
+    inds: Dict[str, List[InclusionDependency]] = field(default_factory=dict)
+    #: INDs that hold only for rows with non-NULL FK values; used by the
+    #: counterexample repair chase, never to prove equivalence.
+    repair_inds: Dict[str, List[InclusionDependency]] = field(default_factory=dict)
+    schemas: Dict[str, object] = field(default_factory=dict)
+
+    def is_empty(self):
+        return not (self.fds or self.inds or self.repair_inds)
+
+    def keyed_tables(self):
+        """Tables with at least one usable FD (identical atoms over them
+        denote the same row and may be merged without changing the bag)."""
+        return set(self.fds)
+
+
+def dependencies_from_catalog(catalog):
+    """Collect the sound dependency set declared by ``catalog``."""
+    deps = DependencySet()
+    if catalog is None:
+        return deps
+    schemas = {schema.name.lower(): schema for schema in catalog.tables()}
+    deps.schemas = schemas
+    for name, schema in schemas.items():
+        not_null = schema.not_null_columns()
+        for key in schema.all_keys():
+            if not all(column.lower() in not_null for column in key):
+                continue
+            fd = FunctionalDependency(
+                table=name,
+                determinant=tuple(
+                    sorted(schema.column_ordinal(column) for column in key)
+                ),
+            )
+            deps.fds.setdefault(name, []).append(fd)
+        for fk in schema.foreign_keys:
+            parent = schemas.get(fk.ref_table.lower())
+            if parent is None:
+                continue
+            if not all(parent.has_column(column) for column in fk.ref_columns):
+                continue
+            if not parent.is_unique_on(fk.ref_columns):
+                # A FK must target a key for the chase's tgd to be sound
+                # (one parent row per child value); skip otherwise.
+                continue
+            ind = InclusionDependency(
+                child=name,
+                child_cols=tuple(
+                    schema.column_ordinal(column) for column in fk.columns
+                ),
+                parent=fk.ref_table.lower(),
+                parent_cols=tuple(
+                    parent.column_ordinal(column) for column in fk.ref_columns
+                ),
+            )
+            if all(column.lower() in not_null for column in fk.columns):
+                deps.inds.setdefault(name, []).append(ind)
+            else:
+                deps.repair_inds.setdefault(name, []).append(ind)
+    return deps
+
+
+__all__ = [
+    "DependencySet",
+    "FunctionalDependency",
+    "InclusionDependency",
+    "dependencies_from_catalog",
+]

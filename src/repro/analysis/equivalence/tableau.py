@@ -1,0 +1,564 @@
+"""Canonicalization of QGM regions into tableaux (conjunctive queries).
+
+A *tableau* is the classical representation used by chase-based
+containment tests: a set of atoms over base tables whose arguments are
+variables and constants, a conjunction of uninterpreted *builtin*
+predicates for everything that is not an equality, and a head (the output
+row). ``canonicalize_box`` flattens a SELECT box — recursively inlining
+quantifiers that range over other SELECT boxes or BASE boxes — into one
+tableau, and a top-level UNION of such blocks into a list of tableaux
+(a union of conjunctive queries).
+
+Anything outside that fragment (GROUPBY, INTERSECT/EXCEPT, OUTERJOIN,
+magic/supplementary boxes, scalar or anti quantifiers, parameters,
+aggregates, correlation into an uncanonicalized scope, LIMIT) raises
+:class:`CannotCanonicalize`; callers translate that into the ``UNKNOWN``
+verdict. Refusing to canonicalize is always safe — the checker never
+guesses.
+
+Multiplicity bookkeeping
+------------------------
+
+SQL is a bag language, so each tableau tracks whether its multiplicities
+are *exactly* those of the canonical conjunctive query:
+
+* a ``foreach`` atom contributes one result row per matching base row;
+* an ``existential`` atom (from an E quantifier) only filters;
+* inlining a DISTINCT (ENFORCE) or PERMIT child whose duplicate-freeness
+  is not provable loses exactness (``bag_exact=False``) but keeps the
+  set-level reading, which is still enough for set equivalence of
+  duplicate-free queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.qgm import expr as qe
+from repro.qgm.keys import box_keys, is_duplicate_free
+from repro.qgm.model import BoxKind, DistinctMode, QuantifierType
+
+
+class CannotCanonicalize(Exception):
+    """The region uses a feature outside the conjunctive fragment."""
+
+    def __init__(self, reason):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class Term:
+    """Base class for tableau terms."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Var(Term):
+    """A labelled null. Identity is the numeric id."""
+
+    vid: int
+
+    def __repr__(self):
+        return "X%d" % self.vid
+
+
+@dataclass(frozen=True)
+class Const(Term):
+    """A concrete value (``None`` is SQL NULL)."""
+
+    value: object
+
+    def __repr__(self):
+        return "c(%r)" % (self.value,)
+
+
+@dataclass(frozen=True)
+class Atom:
+    """``relation(terms)``; ``existential`` atoms filter but do not
+    multiply (they come from E quantifiers or from chase steps)."""
+
+    relation: str
+    terms: Tuple[Term, ...]
+    existential: bool = False
+
+    def __repr__(self):
+        flag = "?" if self.existential else ""
+        return "%s%s(%s)" % (
+            flag, self.relation, ", ".join(repr(t) for t in self.terms)
+        )
+
+
+@dataclass(frozen=True)
+class Builtin:
+    """An uninterpreted predicate: a serialized expression skeleton whose
+    term positions are placeholders ``§0 .. §n`` into ``terms``."""
+
+    skeleton: str
+    terms: Tuple[Term, ...]
+
+    def __repr__(self):
+        return "[%s | %s]" % (self.skeleton, ", ".join(repr(t) for t in self.terms))
+
+
+@dataclass
+class Tableau:
+    """One conjunctive block.
+
+    ``nonnull`` lists terms the block's own predicates force to be
+    non-NULL (SQL equality never holds on NULL). ``schemas`` maps each
+    atom relation to its :class:`~repro.catalog.schema.TableSchema`.
+    """
+
+    atoms: Tuple[Atom, ...]
+    builtins: Tuple[Builtin, ...]
+    head: Tuple[Term, ...]
+    nonnull: FrozenSet[Term] = frozenset()
+    schemas: Dict[str, object] = field(default_factory=dict)
+    bag_exact: bool = True
+    next_var: int = 0
+    chase_complete: bool = True
+    unsatisfiable: bool = False
+
+    def has_builtins(self):
+        return bool(self.builtins)
+
+
+@dataclass
+class CanonicalQuery:
+    """A union of conjunctive blocks plus top-level duplicate bookkeeping."""
+
+    disjuncts: List[Tableau]
+    duplicate_free: bool
+    bag_exact: bool
+    arity: int
+
+
+class _Unsat(Exception):
+    """Internal: two distinct constants were equated."""
+
+
+class _Unifier:
+    """Union-find over terms; constants win as representatives."""
+
+    def __init__(self):
+        self._parent = {}
+
+    def find(self, term):
+        root = term
+        while root in self._parent:
+            root = self._parent[root]
+        while term in self._parent:
+            self._parent[term], term = root, self._parent[term]
+        return root
+
+    def union(self, left, right):
+        left, right = self.find(left), self.find(right)
+        if left == right:
+            return False
+        if isinstance(left, Const) and isinstance(right, Const):
+            # Two distinct constants: the block is unsatisfiable.
+            raise _Unsat()
+        if isinstance(right, Const):
+            left, right = right, left
+        # left is the representative (a Const when one side is).
+        self._parent[right] = left
+        return True
+
+    def resolve(self, terms):
+        return tuple(self.find(term) for term in terms)
+
+
+class _BlockState:
+    """Mutable scratch state while canonicalizing one conjunctive block."""
+
+    def __init__(self, var_start=0):
+        self.atoms = []           # [(relation, [terms], existential)]
+        self.builtins = []        # [(skeleton, [terms])]
+        self.nonnull = set()
+        self.schemas = {}
+        self.unifier = _Unifier()
+        self.bag_exact = True
+        self.unsat = False
+        self._next_var = var_start
+        # (id(quantifier) -> {column lower -> Term}); quantifier objects are
+        # kept alive in _quantifiers so ids stay unique for the call.
+        self.env = {}
+        self._quantifiers = []
+
+    def fresh_var(self):
+        var = Var(self._next_var)
+        self._next_var += 1
+        return var
+
+    def bind(self, quantifier, column_terms):
+        self._quantifiers.append(quantifier)
+        self.env[id(quantifier)] = column_terms
+
+    def term_for(self, ref):
+        columns = self.env.get(id(ref.quantifier))
+        if columns is None:
+            raise CannotCanonicalize(
+                "correlated reference %s escapes the canonicalized region" % ref
+            )
+        term = columns.get(ref.column.lower())
+        if term is None:
+            raise CannotCanonicalize(
+                "reference %s to a column outside the canonicalized region" % ref
+            )
+        return term
+
+    def finish(self, head_terms):
+        resolve = self.unifier.resolve
+        atoms = tuple(
+            Atom(relation, resolve(terms), existential)
+            for relation, terms, existential in self.atoms
+        )
+        builtins = tuple(
+            Builtin(skeleton, resolve(terms)) for skeleton, terms in self.builtins
+        )
+        nonnull = frozenset(self.unifier.find(t) for t in self.nonnull)
+        return Tableau(
+            atoms=atoms,
+            builtins=builtins,
+            head=resolve(head_terms),
+            nonnull=nonnull,
+            schemas=dict(self.schemas),
+            bag_exact=self.bag_exact,
+            next_var=self._next_var,
+            unsatisfiable=self.unsat,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Expression serialization
+# ---------------------------------------------------------------------------
+
+
+def _serialize(expr, state, terms):
+    """Render ``expr`` as a deterministic skeleton, collecting its terms.
+
+    Column references and literals become placeholders so that the chase's
+    equalities apply inside builtins too.
+    """
+    if isinstance(expr, qe.QParam):
+        raise CannotCanonicalize("prepared-statement parameter in predicate")
+    if isinstance(expr, qe.QAggregate):
+        raise CannotCanonicalize("aggregate inside canonicalized expression")
+    if isinstance(expr, qe.QColRef):
+        terms.append(state.term_for(expr))
+        return "§%d" % (len(terms) - 1)
+    if isinstance(expr, qe.QLiteral):
+        terms.append(Const(expr.value))
+        return "§%d" % (len(terms) - 1)
+    if isinstance(expr, qe.QUnary):
+        return "%s(%s)" % (expr.op, _serialize(expr.operand, state, terms))
+    if isinstance(expr, qe.QBinary):
+        return "(%s %s %s)" % (
+            _serialize(expr.left, state, terms),
+            expr.op,
+            _serialize(expr.right, state, terms),
+        )
+    if isinstance(expr, qe.QFunc):
+        return "%s(%s)" % (
+            expr.name,
+            ", ".join(_serialize(arg, state, terms) for arg in expr.args),
+        )
+    if isinstance(expr, qe.QIsNull):
+        return "(%s IS %sNULL)" % (
+            _serialize(expr.operand, state, terms),
+            "NOT " if expr.negated else "",
+        )
+    if isinstance(expr, qe.QLike):
+        return "(%s %sLIKE %s)" % (
+            _serialize(expr.operand, state, terms),
+            "NOT " if expr.negated else "",
+            _serialize(expr.pattern, state, terms),
+        )
+    if isinstance(expr, qe.QCase):
+        parts = ["CASE"]
+        for cond, value in expr.branches:
+            parts.append(
+                "WHEN %s THEN %s"
+                % (_serialize(cond, state, terms), _serialize(value, state, terms))
+            )
+        if expr.default is not None:
+            parts.append("ELSE %s" % _serialize(expr.default, state, terms))
+        parts.append("END")
+        return " ".join(parts)
+    raise CannotCanonicalize(
+        "unsupported expression node %r" % type(expr).__name__
+    )
+
+
+def _term_of_simple(expr, state):
+    """Return the term for a bare column reference or literal, else None."""
+    if isinstance(expr, qe.QParam):
+        raise CannotCanonicalize("prepared-statement parameter in predicate")
+    if isinstance(expr, qe.QColRef):
+        return state.term_for(expr)
+    if isinstance(expr, qe.QLiteral):
+        return Const(expr.value)
+    return None
+
+
+def _absorb_predicate(predicate, state):
+    for conjunct in qe.conjuncts(predicate):
+        if isinstance(conjunct, qe.QBinary) and conjunct.op == "=":
+            left = _term_of_simple(conjunct.left, state)
+            right = _term_of_simple(conjunct.right, state)
+            if left is not None and right is not None:
+                if (isinstance(left, Const) and left.value is None) or (
+                    isinstance(right, Const) and right.value is None
+                ):
+                    # ``x = NULL`` never holds: the block is empty.
+                    state.unsat = True
+                    continue
+                try:
+                    state.unifier.union(left, right)
+                except _Unsat:
+                    state.unsat = True
+                state.nonnull.add(left)
+                state.nonnull.add(right)
+                continue
+        if isinstance(conjunct, qe.QIsNull) and conjunct.negated:
+            term = _term_of_simple(conjunct.operand, state)
+            if term is not None:
+                state.nonnull.add(term)
+                continue
+        terms = []
+        skeleton = _serialize(conjunct, state, terms)
+        state.builtins.append((skeleton, terms))
+
+
+# ---------------------------------------------------------------------------
+# Box flattening
+# ---------------------------------------------------------------------------
+
+
+def _check_plain(box):
+    if box.is_special or box.linked_magic:
+        raise CannotCanonicalize(
+            "box %r belongs to a magic region" % box.name
+        )
+
+
+def _inline_base(quantifier, box, state, existential):
+    schema = box.schema
+    if schema is None:
+        raise CannotCanonicalize("base box %r has no schema" % box.name)
+    relation = (box.table_name or schema.name).lower()
+    terms = [state.fresh_var() for _ in schema.columns]
+    state.atoms.append((relation, terms, existential))
+    state.schemas[relation] = schema
+    state.bind(
+        quantifier,
+        {
+            column.name.lower(): term
+            for column, term in zip(schema.columns, terms)
+        },
+    )
+
+
+def _inline_select(quantifier, box, state, existential, skip_predicates):
+    """Flatten a SELECT child referenced by ``quantifier`` into ``state``."""
+    _check_plain(box)
+    if box.group_keys:
+        raise CannotCanonicalize("GROUP BY box %r" % box.name)
+    if box.distinct in (DistinctMode.ENFORCE, DistinctMode.PERMIT):
+        # Inlining counts derivations: exact multiplicities survive only
+        # when the child is provably duplicate-free without enforcement.
+        if not box_keys(box, ignore_enforce=True):
+            state.bag_exact = False
+    _inline_body(box, state, existential, skip_predicates)
+    columns = {}
+    for column in box.columns:
+        columns[column.name.lower()] = _output_term(column, state)
+    state.bind(quantifier, columns)
+
+
+def _output_term(column, state):
+    if column.expr is None:
+        raise CannotCanonicalize(
+            "output column %r has no defining expression" % column.name
+        )
+    term = _term_of_simple(column.expr, state)
+    if term is not None:
+        if isinstance(term, Const) and term.value is None:
+            return term
+        return term
+    # A computed output column: introduce a fresh variable defined by an
+    # assignment builtin. The tableau is no longer builtin-free, which
+    # (correctly) disables counterexample freezing.
+    terms = [state.fresh_var()]
+    skeleton = "§0 := %s" % _serialize(column.expr, state, terms)
+    state.builtins.append((skeleton, terms))
+    return terms[0]
+
+
+def _inline_body(box, state, existential, skip_predicates=None):
+    """Absorb ``box``'s quantifiers and predicates into ``state``."""
+    for quantifier in box.quantifiers:
+        if quantifier.is_magic:
+            raise CannotCanonicalize("magic quantifier %r" % quantifier.name)
+        if quantifier.qtype == QuantifierType.FOREACH:
+            child_existential = existential
+        elif quantifier.qtype == QuantifierType.EXISTENTIAL:
+            child_existential = True
+        else:
+            raise CannotCanonicalize(
+                "%s quantifier %r" % (quantifier.qtype, quantifier.name)
+            )
+        child = quantifier.input_box
+        if child.kind == BoxKind.BASE:
+            _inline_base(quantifier, child, state, child_existential)
+        elif child.kind == BoxKind.SELECT:
+            _inline_select(
+                quantifier, child, state, child_existential, skip_predicates
+            )
+        else:
+            raise CannotCanonicalize(
+                "%s box %r under a SELECT" % (child.kind, child.name)
+            )
+        if quantifier.selector_predicates:
+            raise CannotCanonicalize(
+                "decorrelated selector predicates on %r" % quantifier.name
+            )
+    for predicate in box.predicates:
+        if skip_predicates and id(predicate) in skip_predicates:
+            continue
+        _absorb_predicate(predicate, state)
+
+
+def _tableau_for_select(box, skip_predicates=None, head_extra=None):
+    """Canonicalize one SELECT box into a tableau.
+
+    ``head_extra`` is a list of column references appended to the head —
+    used by the implied-predicate probe to observe whether the chase
+    equates two columns.
+    """
+    _check_plain(box)
+    if box.kind != BoxKind.SELECT:
+        raise CannotCanonicalize("box %r is %s, not SELECT" % (box.name, box.kind))
+    if box.group_keys:
+        raise CannotCanonicalize("GROUP BY box %r" % box.name)
+    state = _BlockState()
+    _inline_body(box, state, existential=False, skip_predicates=skip_predicates)
+    head = [_output_term(column, state) for column in box.columns]
+    if head_extra:
+        head.extend(state.term_for(ref) for ref in head_extra)
+    if box.distinct in (DistinctMode.ENFORCE, DistinctMode.PERMIT):
+        if not box_keys(box, ignore_enforce=True):
+            state.bag_exact = False
+    return state.finish(head)
+
+
+def _tableau_for_base(box):
+    state = _BlockState()
+    schema = box.schema
+    if schema is None:
+        raise CannotCanonicalize("base box %r has no schema" % box.name)
+    relation = (box.table_name or schema.name).lower()
+    terms = [state.fresh_var() for _ in schema.columns]
+    state.atoms.append((relation, terms, False))
+    state.schemas[relation] = schema
+    return state.finish(terms)
+
+
+def canonicalize_box(box, max_disjuncts=8):
+    """Canonicalize ``box`` into a :class:`CanonicalQuery`.
+
+    Accepts SELECT boxes, BASE boxes, and UNION boxes whose inputs are
+    SELECT/BASE boxes (a union of conjunctive queries). Raises
+    :class:`CannotCanonicalize` for everything else.
+    """
+    _check_plain(box)
+    if box.kind == BoxKind.SELECT:
+        disjuncts = [_tableau_for_select(box)]
+    elif box.kind == BoxKind.BASE:
+        disjuncts = [_tableau_for_base(box)]
+    elif box.kind == BoxKind.UNION:
+        disjuncts = []
+        for quantifier in box.quantifiers:
+            if quantifier.qtype != QuantifierType.FOREACH:
+                raise CannotCanonicalize(
+                    "%s quantifier under UNION" % quantifier.qtype
+                )
+            child = quantifier.input_box
+            if child.kind == BoxKind.SELECT:
+                disjuncts.append(_tableau_for_select(child))
+            elif child.kind == BoxKind.BASE:
+                disjuncts.append(_tableau_for_base(child))
+            else:
+                raise CannotCanonicalize(
+                    "%s box %r under UNION" % (child.kind, child.name)
+                )
+        if len(disjuncts) > max_disjuncts:
+            raise CannotCanonicalize(
+                "union width %d exceeds the disjunct budget" % len(disjuncts)
+            )
+        arities = {len(tableau.head) for tableau in disjuncts}
+        if len(arities) > 1:
+            raise CannotCanonicalize("union inputs disagree on arity")
+    else:
+        raise CannotCanonicalize("cannot canonicalize %s box %r" % (box.kind, box.name))
+
+    duplicate_free = box.distinct == DistinctMode.ENFORCE or is_duplicate_free(box)
+    bag_exact = all(tableau.bag_exact for tableau in disjuncts)
+    if box.kind == BoxKind.UNION:
+        # UNION ALL sums multiplicities; with ENFORCE/PERMIT the exact bag
+        # is only determined when duplicate-freeness needs no enforcement.
+        if box.distinct in (DistinctMode.ENFORCE, DistinctMode.PERMIT):
+            bag_exact = bag_exact and bool(box_keys(box, ignore_enforce=True))
+    arity = len(box.columns) if box.columns else (
+        len(disjuncts[0].head) if disjuncts else 0
+    )
+    return CanonicalQuery(
+        disjuncts=disjuncts,
+        duplicate_free=duplicate_free,
+        bag_exact=bag_exact,
+        arity=arity,
+    )
+
+
+def canonicalize_graph(graph, max_disjuncts=8):
+    """Canonicalize a whole query graph (its top box)."""
+    if graph.top_box is None:
+        raise CannotCanonicalize("graph has no top box")
+    if graph.limit is not None:
+        raise CannotCanonicalize("LIMIT changes which rows survive")
+    return canonicalize_box(graph.top_box, max_disjuncts=max_disjuncts)
+
+
+def probe_implied_equality(box, predicate):
+    """Canonicalize ``box`` *without* ``predicate``, exposing the two sides
+    of the (simple) equality as extra head columns.
+
+    Returns ``(tableau, left_index, right_index)`` — after chasing the
+    tableau, the predicate is dependency-implied iff the two extra head
+    terms are equal. Returns None when ``predicate`` is not a simple
+    equality between column references.
+    """
+    sides = qe.equality_sides(predicate)
+    if sides is None:
+        return None
+    tableau = _tableau_for_select(
+        box, skip_predicates={id(predicate)}, head_extra=list(sides)
+    )
+    return tableau, len(tableau.head) - 2, len(tableau.head) - 1
+
+
+__all__ = [
+    "Atom",
+    "Builtin",
+    "CannotCanonicalize",
+    "CanonicalQuery",
+    "Const",
+    "Tableau",
+    "Term",
+    "Var",
+    "canonicalize_box",
+    "canonicalize_graph",
+    "probe_implied_equality",
+]

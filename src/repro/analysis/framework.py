@@ -135,12 +135,14 @@ def register_pass(factory: Callable[[], AnalysisPass]) -> Callable[[], AnalysisP
 
 
 def default_passes() -> List[AnalysisPass]:
-    """The full pipeline: structural, types, dead code, magic, dataflow."""
+    """The full pipeline: structural, types, dead code, magic, dataflow,
+    chase-based equivalence."""
     from repro.analysis.structural import StructuralPass
     from repro.analysis.typecheck import TypeCheckPass
     from repro.analysis.deadcode import DeadCodePass
     from repro.analysis.magic_checks import MagicWellFormednessPass
     from repro.analysis.dataflow_checks import DataflowPass
+    from repro.analysis.equivalence_checks import EquivalencePass
 
     passes: List[AnalysisPass] = [
         StructuralPass(),
@@ -148,6 +150,7 @@ def default_passes() -> List[AnalysisPass]:
         DeadCodePass(),
         MagicWellFormednessPass(),
         DataflowPass(),
+        EquivalencePass(),
     ]
     passes.extend(factory() for factory in _EXTRA_PASSES)
     return passes
@@ -161,16 +164,20 @@ def soundness_passes() -> List[AnalysisPass]:
 
     Dead-code and type diagnostics are deliberately excluded — a rewrite
     legitimately passes through states with temporarily unreferenced boxes,
-    and type facts cannot change under equivalence-preserving rules.
+    and type facts cannot change under equivalence-preserving rules. The
+    equivalence pass runs shallow (``deep=False``): no per-pair trial
+    eliminations, only the bounded implied-predicate chases.
     """
     from repro.analysis.structural import StructuralPass
     from repro.analysis.magic_checks import MagicWellFormednessPass
     from repro.analysis.dataflow_checks import DataflowPass
+    from repro.analysis.equivalence_checks import EquivalencePass
 
     return [
         StructuralPass(),
         MagicWellFormednessPass(),
         DataflowPass(check_redundant_distinct=False),
+        EquivalencePass(deep=False),
     ]
 
 

@@ -12,6 +12,17 @@ graph's diagnostics, so pre-existing problems are never attributed to a
 rule), consulted after every successful firing, and its attribution log
 flows into :meth:`~repro.rewrite.rule.RuleContext.observability`, hence
 into ``ExecutionOutcome.stats["soundness_violations"]`` and ``explain``.
+
+When an :class:`~repro.analysis.equivalence.EquivalenceChecker` is
+attached, each firing is additionally *translation-validated*: the
+pre-firing snapshot and the rewritten graph are canonicalized into
+tableaux, chased under the catalog's dependencies, and compared. A
+``REFUTED`` verdict — the rewrite provably changed the query's meaning
+on a concrete counterexample database — is reported as ``QGM601`` and
+raised exactly like a new error diagnostic, so the engine's existing
+rollback-and-quarantine path handles it. ``UNKNOWN`` is always accepted
+(the validator's fragment is conjunctive blocks plus unions; anything
+beyond yields UNKNOWN, never a false alarm).
 """
 
 from __future__ import annotations
@@ -26,11 +37,24 @@ from repro.errors import QgmError
 class SoundnessChecker:
     """Diffs pre/post-firing analysis results for one rewrite run."""
 
-    def __init__(self, graph, analyzer: Optional[Analyzer] = None):
+    def __init__(
+        self,
+        graph,
+        analyzer: Optional[Analyzer] = None,
+        equivalence_checker=None,
+        diff_analysis: bool = True,
+    ):
         self.analyzer = analyzer if analyzer is not None else Analyzer(
             soundness_passes()
         )
-        self.baseline: Set[Tuple] = self._keys(self.analyzer.analyze(graph))
+        #: When set, every firing with a ``before`` snapshot is submitted
+        #: to chase-based translation validation (REFUTED -> QGM601).
+        self.equivalence_checker = equivalence_checker
+        #: Allows running translation validation alone (benchmarks).
+        self.diff_analysis = diff_analysis
+        self.baseline: Set[Tuple] = (
+            self._keys(self.analyzer.analyze(graph)) if diff_analysis else set()
+        )
         #: rule name -> list of diagnostics that rule introduced (errors
         #: trigger rollback + quarantine; warnings are recorded only).
         self.attributed: Dict[str, List[Diagnostic]] = {}
@@ -39,43 +63,87 @@ class SoundnessChecker:
     def _keys(report) -> Set[Tuple]:
         return {diagnostic.key() for diagnostic in report}
 
-    def after_firing(self, graph, rule_name: str, context=None) -> List[Diagnostic]:
+    def after_firing(
+        self, graph, rule_name: str, context=None, before=None
+    ) -> List[Diagnostic]:
         """Re-analyze ``graph`` after ``rule_name`` fired.
 
         New warnings/infos are absorbed into the baseline and attributed
         silently. New *errors* are attributed, recorded on ``context``,
         and raised as :class:`~repro.errors.QgmError` so the engine rolls
-        the firing back and quarantines the rule. Returns the list of new
+        the firing back and quarantines the rule. When an equivalence
+        checker is attached and ``before`` (the pre-firing snapshot) is
+        given, the firing is also translation-validated; a ``REFUTED``
+        verdict raises as a ``QGM601`` error. Returns the list of new
         diagnostics (when it does not raise).
         """
-        report = self.analyzer.analyze(graph)
-        fresh = [d for d in report if d.key() not in self.baseline]
-        if not fresh:
+        fresh: List[Diagnostic] = []
+        if self.diff_analysis:
+            report = self.analyzer.analyze(graph)
+            fresh = [d for d in report if d.key() not in self.baseline]
+            if fresh:
+                for diagnostic in fresh:
+                    diagnostic.rule = rule_name
+                self.attributed.setdefault(rule_name, []).extend(fresh)
+                new_errors = [d for d in fresh if d.severity == Severity.ERROR]
+                if context is not None:
+                    context.record_soundness(
+                        rule_name, [d.code for d in (new_errors or fresh)]
+                    )
+                if new_errors:
+                    summary = "; ".join(
+                        "%s at %s: %s" % (d.code, d.location, d.message)
+                        for d in new_errors[:3]
+                    )
+                    if len(new_errors) > 3:
+                        summary += "; ... (%d total)" % len(new_errors)
+                    raise QgmError(
+                        "rule %r introduced %d new error diagnostic(s): %s"
+                        % (rule_name, len(new_errors), summary),
+                        context={
+                            "rule": rule_name,
+                            "codes": [d.code for d in new_errors],
+                        },
+                    )
+            # Warnings only (or clean): keep them out of the next diff.
             self.baseline = self._keys(report)
-            return []
-        for diagnostic in fresh:
-            diagnostic.rule = rule_name
-        self.attributed.setdefault(rule_name, []).extend(fresh)
-        new_errors = [d for d in fresh if d.severity == Severity.ERROR]
-        if context is not None:
-            context.record_soundness(
-                rule_name, [d.code for d in (new_errors or fresh)]
-            )
-        if new_errors:
-            summary = "; ".join(
-                "%s at %s: %s" % (d.code, d.location, d.message)
-                for d in new_errors[:3]
-            )
-            if len(new_errors) > 3:
-                summary += "; ... (%d total)" % len(new_errors)
-            raise QgmError(
-                "rule %r introduced %d new error diagnostic(s): %s"
-                % (rule_name, len(new_errors), summary),
-                context={
-                    "rule": rule_name,
-                    "codes": [d.code for d in new_errors],
-                },
-            )
-        # Warnings only: keep them out of the next firing's diff.
-        self.baseline = self._keys(report)
+        else:
+            # Without the diffing analyzer, keep the historical fail-fast
+            # structural backstop (soundness=False behaves as before).
+            from repro.qgm.validate import validate_graph
+
+            validate_graph(graph)
+        self._translation_validate(graph, rule_name, context, before)
         return fresh
+
+    def _translation_validate(self, graph, rule_name, context, before):
+        """Chase-check ``before -> graph``; REFUTED raises as QGM601."""
+        if self.equivalence_checker is None or before is None:
+            return
+        verdict = self.equivalence_checker.check_graphs(before, graph)
+        if context is not None:
+            context.record_equivalence(rule_name, verdict.status, verdict.seconds)
+        if verdict.status != "REFUTED":
+            return
+        diagnostic = Diagnostic(
+            code="QGM601",
+            severity=Severity.ERROR,
+            message="translation validation refuted this firing: %s"
+            % verdict.reason,
+            box=graph.top_box.name,
+            box_id=graph.top_box.box_id,
+            pass_name="equivalence",
+            rule=rule_name,
+        )
+        self.attributed.setdefault(rule_name, []).append(diagnostic)
+        if context is not None:
+            context.record_soundness(rule_name, ["QGM601"])
+        raise QgmError(
+            "rule %r refuted by translation validation: %s"
+            % (rule_name, verdict.reason),
+            context={
+                "rule": rule_name,
+                "codes": ["QGM601"],
+                "counterexample": verdict.counterexample,
+            },
+        )

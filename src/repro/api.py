@@ -255,6 +255,10 @@ class Connection:
             ],
             primary_key=statement.primary_key,
             unique_keys=statement.unique_keys,
+            foreign_keys=[
+                (fk.columns, fk.ref_table, fk.ref_columns)
+                for fk in statement.foreign_keys
+            ],
         )
 
     def _insert_values(self, statement):

@@ -1,11 +1,12 @@
 """Catalog: table schemas, keys and optimizer statistics."""
 
-from repro.catalog.schema import ColumnDef, TableSchema
+from repro.catalog.schema import ColumnDef, ForeignKey, TableSchema
 from repro.catalog.catalog import Catalog
 from repro.catalog.statistics import ColumnStatistics, TableStatistics, compute_statistics
 
 __all__ = [
     "ColumnDef",
+    "ForeignKey",
     "TableSchema",
     "Catalog",
     "ColumnStatistics",

@@ -35,10 +35,33 @@ class Catalog:
     # -- base tables ---------------------------------------------------------
 
     def add_table(self, schema, statistics=None):
-        """Register a base table schema (and optionally its statistics)."""
+        """Register a base table schema (and optionally its statistics).
+
+        Foreign keys whose target table is already in the catalog are
+        validated eagerly (the referenced columns must exist and cover a
+        declared key — SQL requires FK targets to be PRIMARY KEY or
+        UNIQUE). Targets registered later are validated lazily by the
+        dependency collector.
+        """
         key = schema.name.lower()
         if key in self._tables or key in self._views:
             raise CatalogError("table or view %r already defined" % schema.name)
+        for fk in getattr(schema, "foreign_keys", []):
+            parent = self._tables.get(fk.ref_table.lower())
+            if parent is None:
+                continue
+            for column in fk.ref_columns:
+                if not parent.has_column(column):
+                    raise CatalogError(
+                        "%s on table %r: no column %r in table %r"
+                        % (fk.describe(), schema.name, column, parent.name)
+                    )
+            if not parent.is_unique_on(fk.ref_columns):
+                raise CatalogError(
+                    "%s on table %r: referenced columns do not cover a "
+                    "declared key of %r"
+                    % (fk.describe(), schema.name, parent.name)
+                )
         self._tables[key] = schema
         self._statistics[key] = statistics or TableStatistics()
         self.version += 1

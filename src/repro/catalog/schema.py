@@ -8,6 +8,43 @@ from typing import List, Optional, Tuple
 from repro.errors import CatalogError
 
 
+@dataclass(frozen=True)
+class ForeignKey:
+    """A declared FOREIGN KEY: ``columns`` of the owning (child) table
+    reference ``ref_columns`` of ``ref_table``.
+
+    The engine does not *enforce* referential integrity on writes; the
+    declaration feeds the dependency-driven reasoning in
+    :mod:`repro.analysis.equivalence` (inclusion dependencies for the
+    chase) and the FK-covered join elimination in
+    :mod:`repro.rewrite.redundant_join`.
+    """
+
+    columns: Tuple[str, ...]
+    ref_table: str
+    ref_columns: Tuple[str, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "columns", tuple(self.columns))
+        object.__setattr__(self, "ref_columns", tuple(self.ref_columns))
+        if len(self.columns) != len(self.ref_columns):
+            raise CatalogError(
+                "foreign key (%s) references %s (%s): column counts differ"
+                % (
+                    ", ".join(self.columns),
+                    self.ref_table,
+                    ", ".join(self.ref_columns),
+                )
+            )
+
+    def describe(self):
+        return "FOREIGN KEY (%s) REFERENCES %s (%s)" % (
+            ", ".join(self.columns),
+            self.ref_table,
+            ", ".join(self.ref_columns),
+        )
+
+
 @dataclass
 class ColumnDef:
     """One column of a stored table.
@@ -31,6 +68,7 @@ class TableSchema:
     columns: List[ColumnDef]
     primary_key: Optional[Tuple[str, ...]] = None
     unique_keys: List[Tuple[str, ...]] = field(default_factory=list)
+    foreign_keys: List[ForeignKey] = field(default_factory=list)
 
     def __post_init__(self):
         seen = set()
@@ -47,6 +85,12 @@ class TableSchema:
         self.unique_keys = [tuple(key) for key in self.unique_keys]
         for key in self.unique_keys:
             self._check_key(key)
+        self.foreign_keys = [
+            fk if isinstance(fk, ForeignKey) else ForeignKey(*fk)
+            for fk in self.foreign_keys
+        ]
+        for fk in self.foreign_keys:
+            self._check_key(fk.columns)
 
     def __deepcopy__(self, memo):
         # Schemas are immutable after creation; share them across graph

@@ -8,7 +8,7 @@ the row storage, and is the object users hand to the session API.
 from __future__ import annotations
 
 from repro.catalog import Catalog, compute_statistics
-from repro.catalog.schema import ColumnDef, TableSchema
+from repro.catalog.schema import ColumnDef, ForeignKey, TableSchema
 from repro.errors import CatalogError, ExecutionError
 
 
@@ -118,20 +118,44 @@ class Database:
                 out[name.lower()] = table.version
         return out
 
-    def create_table(self, name, columns, primary_key=None, unique_keys=None, rows=None):
+    def create_table(self, name, columns, primary_key=None, unique_keys=None,
+                     rows=None, foreign_keys=None):
         """Create a base table.
 
         ``columns`` is a list of column names or :class:`ColumnDef`.
+        ``foreign_keys`` is a list of :class:`~repro.catalog.ForeignKey`
+        (or ``(columns, ref_table, ref_columns)`` tuples); a ``ref_columns``
+        of None resolves to the referenced table's primary key.
         """
         defs = [
             column if isinstance(column, ColumnDef) else ColumnDef(name=column)
             for column in columns
         ]
+        resolved = []
+        for fk in foreign_keys or []:
+            if not isinstance(fk, ForeignKey):
+                fk_columns, ref_table, ref_columns = fk
+                if ref_columns is None:
+                    parent = self.catalog.table(ref_table)
+                    if parent.primary_key is None:
+                        raise CatalogError(
+                            "foreign key on %r references %r without a "
+                            "column list, but %r has no primary key"
+                            % (name, ref_table, ref_table)
+                        )
+                    ref_columns = parent.primary_key
+                fk = ForeignKey(
+                    columns=tuple(fk_columns),
+                    ref_table=ref_table,
+                    ref_columns=tuple(ref_columns),
+                )
+            resolved.append(fk)
         schema = TableSchema(
             name=name,
             columns=defs,
             primary_key=tuple(primary_key) if primary_key else None,
             unique_keys=[tuple(key) for key in (unique_keys or [])],
+            foreign_keys=resolved,
         )
         self.catalog.add_table(schema)
         table = Table(schema, rows=rows)

@@ -104,9 +104,14 @@ class ResiliencePolicy:
     diagnostics are attributed to the firing rule, rolled back and the
     rule quarantined. ``soundness=False`` drops back to the bare
     fail-fast ``validate_graph`` (no attribution, structural checks
-    only). ``protect_rules=False`` disables the per-firing snapshot
-    (faster, but a raising rule then fails the whole strategy and only
-    the chain fallback applies).
+    only). In paranoid mode, ``equivalence=True`` (the default) also
+    submits each firing to chase-based translation validation
+    (:class:`~repro.analysis.equivalence.EquivalenceChecker`): a firing
+    the chase *refutes* — proves to change query meaning on a concrete
+    counterexample database — is rolled back and the rule quarantined
+    under code ``QGM601``. ``protect_rules=False`` disables the
+    per-firing snapshot (faster, but a raising rule then fails the whole
+    strategy and only the chain fallback applies).
     """
 
     def __init__(
@@ -118,10 +123,12 @@ class ResiliencePolicy:
         fallback_on_exhaustion=False,
         fault_plan=None,
         soundness=True,
+        equivalence=True,
     ):
         self.governor = governor if governor is not None else ResourceGovernor()
         self.paranoid = paranoid
         self.soundness = soundness
+        self.equivalence = equivalence
         self.protect_rules = protect_rules
         self.fallback_chain = tuple(fallback_chain)
         self.fallback_on_exhaustion = fallback_on_exhaustion

@@ -59,13 +59,29 @@ class RewriteEngine:
         protect = resilience is not None and resilience.protect_rules
         paranoid = resilience is not None and resilience.paranoid
         checker = None
-        if protect and paranoid and getattr(resilience, "soundness", True):
+        run_soundness = getattr(resilience, "soundness", True)
+        run_equivalence = getattr(resilience, "equivalence", True)
+        if protect and paranoid and (run_soundness or run_equivalence):
             # Paranoid mode runs the rewrite-soundness checker: the phase's
             # incoming diagnostics are the baseline, and every new *error*
             # after a firing is attributed to the rule and quarantines it.
+            # With equivalence enabled, each firing is additionally
+            # translation-validated against its pre-firing snapshot; a
+            # chase-refuted firing (QGM601) takes the same rollback path.
             from repro.analysis.soundness import SoundnessChecker
 
-            checker = SoundnessChecker(graph)
+            equivalence_checker = None
+            if run_equivalence:
+                from repro.analysis.equivalence import EquivalenceChecker
+
+                equivalence_checker = EquivalenceChecker(
+                    getattr(graph, "catalog", None)
+                )
+            checker = SoundnessChecker(
+                graph,
+                equivalence_checker=equivalence_checker,
+                diff_analysis=run_soundness,
+            )
         active = [rule for rule in self.rules if phase in rule.phases]
         sweeps = 0
         changed = True
@@ -124,8 +140,11 @@ class RewriteEngine:
             if fired and paranoid:
                 if checker is not None:
                     # Raises QgmError when the firing introduced new error
-                    # diagnostics, after attributing them to the rule.
-                    checker.after_firing(graph, rule.name, context)
+                    # diagnostics — or was refuted by translation
+                    # validation — after attributing them to the rule.
+                    checker.after_firing(
+                        graph, rule.name, context, before=snapshot
+                    )
                 else:
                     validate_graph(graph)
             return fired

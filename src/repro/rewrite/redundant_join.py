@@ -1,10 +1,21 @@
 """Redundant join elimination.
 
-When a select box joins two quantifiers over the *same* box on a full key
-of that box, the second quantifier is the same row as the first and can be
-removed (its references redirected). This is the common pattern left behind
-by view expansion — e.g. query D references ``department`` both directly
-and through ``mgrSal``.
+Three tiers, cheapest first:
+
+1. **Syntactic**: a select box joins two quantifiers over the same box —
+   or over two distinct BASE boxes of the *same table* — on a full key of
+   that source; the second quantifier denotes the same row and is removed
+   (the pattern view expansion leaves behind, e.g. query D referencing
+   ``department`` both directly and through ``mgrSal``).
+2. **Chase-verified self-joins**: two quantifiers over *distinct*
+   view-expansion boxes with the same base-table footprint. The rule
+   eliminates one on a cloned graph and keeps the change only when the
+   chase-based equivalence checker returns ``VERIFIED`` — so the rule
+   needs no bespoke soundness argument for each shape.
+3. **FK-covered parent joins**: a join of a child table to its FOREIGN
+   KEY parent on the full FK, where the parent contributes nothing beyond
+   the referenced key columns. The inclusion dependency makes the join a
+   multiplicity-one lookup; again the chase verdict, not syntax, decides.
 """
 
 from __future__ import annotations
@@ -15,36 +26,151 @@ from repro.qgm.model import BoxKind, QuantifierType
 from repro.rewrite.rule import RewriteRule
 from repro.rewrite.common import substitute_everywhere
 
+#: Trial eliminations attempted per apply() call (each costs one graph
+#: clone plus one chase-based check).
+_MAX_TRIALS = 8
+
+
+def _is_trivial_self_equality(predicate):
+    sides = qe.equality_sides(predicate)
+    if sides is None:
+        return False
+    left, right = sides
+    return left.quantifier is right.quantifier and left.column == right.column
+
+
+def _same_source(first_box, second_box):
+    """Same box object, or two BASE boxes over one stored table."""
+    if first_box is second_box:
+        return True
+    return (
+        first_box.kind == BoxKind.BASE
+        and second_box.kind == BoxKind.BASE
+        and first_box.table_name is not None
+        and second_box.table_name is not None
+        and first_box.table_name.lower() == second_box.table_name.lower()
+    )
+
+
+def _references_to(graph, quantifier):
+    """Lower-cased column names referenced from ``quantifier`` anywhere."""
+    columns = set()
+    for box in graph.boxes():
+        for expression in box.all_expressions():
+            for ref in qe.column_refs(expression):
+                if ref.quantifier is quantifier:
+                    columns.add(ref.column.lower())
+    return columns
+
+
+def eliminate_quantifier(box, graph, keep, drop, column_mapping, join_orders=None):
+    """Remove ``drop`` from ``box``, redirecting every reference through
+    ``column_mapping`` (lower-cased drop column -> keep column name)."""
+
+    def mapping(ref):
+        if ref.quantifier is drop:
+            return qe.QColRef(
+                quantifier=keep,
+                column=column_mapping.get(ref.column.lower(), ref.column),
+            )
+        return None
+
+    box.remove_quantifier(drop)
+    substitute_everywhere(graph, mapping)
+    # Join predicates became trivial self-equalities; remove them (they
+    # would only re-filter NULL keys, and the equivalence argument — a
+    # declared key or a verified chase — guarantees the column is non-null
+    # exactly where the join matched).
+    box.predicates = [
+        p for p in box.predicates if not _is_trivial_self_equality(p)
+    ]
+    if join_orders is not None:
+        order = join_orders.get(box.box_id)
+        if order and drop.name in order:
+            join_orders[box.box_id] = [n for n in order if n != drop.name]
+
+
+def _base_footprint(box, depth=0):
+    """Sorted multiset of base tables a box expands over; None = unknown."""
+    if depth > 6:
+        return None
+    if box.kind == BoxKind.BASE:
+        return (box.table_name.lower(),) if box.table_name else None
+    if box.kind != BoxKind.SELECT or box.is_special:
+        return None
+    tables = []
+    for quantifier in box.quantifiers:
+        if quantifier.qtype != QuantifierType.FOREACH:
+            return None
+        child = _base_footprint(quantifier.input_box, depth + 1)
+        if child is None:
+            return None
+        tables.extend(child)
+    return tuple(sorted(tables))
+
+
+def _linked_by_equality(box, first, second):
+    for predicate in box.predicates:
+        sides = qe.equality_sides(predicate)
+        if sides is None:
+            continue
+        quantifiers = {sides[0].quantifier, sides[1].quantifier}
+        if quantifiers == {first, second}:
+            return True
+    return False
+
 
 class RedundantJoinRule(RewriteRule):
-    """Eliminate self-joins on a full key."""
+    """Eliminate joins that provably re-fetch an already-joined row."""
 
     name = "redundant-join"
     phases = frozenset({1, 3})
     priority = 60
 
     def applies_to(self, box, context):
-        if box.kind != BoxKind.SELECT:
+        if box.kind != BoxKind.SELECT or box.is_special:
             return False
-        targets = [q.input_box for q in box.foreach_quantifiers()]
-        return len(targets) != len({id(t) for t in targets})
+        foreach = box.foreach_quantifiers()
+        if len(foreach) < 2:
+            return False
+        for i, first in enumerate(foreach):
+            for second in foreach[i + 1:]:
+                if _same_source(first.input_box, second.input_box):
+                    return True
+                if _linked_by_equality(box, first, second):
+                    return True
+        return False
 
     def apply(self, box, context):
+        if self._apply_syntactic(box, context):
+            return True
+        return self._apply_semantic(box, context)
+
+    # -- tier 1: key-equated same-source joins -------------------------------
+
+    def _apply_syntactic(self, box, context):
         foreach = box.foreach_quantifiers()
         for i, first in enumerate(foreach):
-            for second in foreach[i + 1 :]:
-                if first.input_box is not second.input_box:
+            for second in foreach[i + 1:]:
+                if not _same_source(first.input_box, second.input_box):
                     continue
                 matched = self._key_equated(box, first, second)
                 if matched is None:
                     continue
-                self._eliminate(box, first, second, matched, context)
+                identity = {
+                    name.lower(): name
+                    for name in first.input_box.column_names
+                }
+                eliminate_quantifier(
+                    box, context.graph, first, second, identity,
+                    context.join_orders,
+                )
                 return True
         return False
 
     def _key_equated(self, box, first, second):
-        """If the box equates a full key of the shared child between the two
-        quantifiers, return the list of those equality predicates."""
+        """If the box equates a full key of the shared source between the
+        two quantifiers, return the list of those equality predicates."""
         pairs = {}
         predicates_by_column = {}
         for predicate in box.predicates:
@@ -65,30 +191,147 @@ class RedundantJoinRule(RewriteRule):
                 return [predicates_by_column[column] for column in key]
         return None
 
-    def _eliminate(self, box, keep, drop, key_predicates, context):
-        def mapping(ref):
-            if ref.quantifier is drop:
-                return qe.QColRef(quantifier=keep, column=ref.column)
-            return None
+    # -- tiers 2+3: chase-verified trial eliminations ------------------------
 
-        box.remove_quantifier(drop)
-        substitute_everywhere(context.graph, mapping)
-        # The key-equality predicates became trivial self-equalities; remove
-        # them (they would only re-filter NULL keys, and key columns of a
-        # declared key are non-null in our model).
-        box.predicates = [
-            p
-            for p in box.predicates
-            if not _is_trivial_self_equality(p)
-        ]
-        order = context.join_orders.get(box.box_id)
-        if order and drop.name in order:
-            context.join_orders[box.box_id] = [n for n in order if n != drop.name]
-
-
-def _is_trivial_self_equality(predicate):
-    sides = qe.equality_sides(predicate)
-    if sides is None:
+    def _apply_semantic(self, box, context):
+        checker = self._equivalence_checker(context)
+        if checker is None:
+            return False
+        attempted = getattr(context, "_redundant_join_attempts", None)
+        if attempted is None:
+            attempted = set()
+            context._redundant_join_attempts = attempted
+        trials = 0
+        for keep, drop, column_mapping in self._semantic_candidates(box, context):
+            key = (box.box_id, keep.name, drop.name)
+            if key in attempted:
+                continue
+            attempted.add(key)
+            trials += 1
+            if trials > _MAX_TRIALS:
+                return False
+            if self._verify_elimination(box, context, checker, keep, drop,
+                                        column_mapping):
+                eliminate_quantifier(
+                    box, context.graph, keep, drop, column_mapping,
+                    context.join_orders,
+                )
+                return True
         return False
-    left, right = sides
-    return left.quantifier is right.quantifier and left.column == right.column
+
+    def _equivalence_checker(self, context):
+        checker = getattr(context, "_equivalence_checker", None)
+        if checker is None:
+            catalog = getattr(context.graph, "catalog", None)
+            if catalog is None:
+                return None
+            from repro.analysis.equivalence import EquivalenceChecker
+
+            checker = EquivalenceChecker(catalog)
+            context._equivalence_checker = checker
+        return checker
+
+    def _semantic_candidates(self, box, context):
+        """Yield (keep, drop, column_mapping) worth a trial elimination."""
+        graph = context.graph
+        foreach = box.foreach_quantifiers()
+
+        # Self-joins through view-expansion boxes: both inputs are SELECT
+        # boxes over the same base tables with the same output columns,
+        # linked by at least one equality. A shared box object (two
+        # quantifiers ranging over one expansion) lands here too when
+        # tier 1 found no declared key to equate on.
+        for i, first in enumerate(foreach):
+            for second in foreach[i + 1:]:
+                if (
+                    first.input_box.kind != BoxKind.SELECT
+                    or second.input_box.kind != BoxKind.SELECT
+                ):
+                    continue
+                if first.input_box is not second.input_box:
+                    footprint = _base_footprint(first.input_box)
+                    if footprint is None or footprint != _base_footprint(
+                        second.input_box
+                    ):
+                        continue
+                if not _linked_by_equality(box, first, second):
+                    continue
+                for keep, drop in ((first, second), (second, first)):
+                    keep_columns = {
+                        name.lower(): name
+                        for name in keep.input_box.column_names
+                    }
+                    if not set(_references_to(graph, drop)) <= set(keep_columns):
+                        continue
+                    yield keep, drop, keep_columns
+
+        # FK-covered parent joins: child joined to its FOREIGN KEY parent
+        # on the full FK, parent contributing only the referenced columns.
+        for child in foreach:
+            child_box = child.input_box
+            if child_box.kind != BoxKind.BASE or child_box.schema is None:
+                continue
+            for fk in getattr(child_box.schema, "foreign_keys", ()):
+                for parent in foreach:
+                    if parent is child:
+                        continue
+                    parent_box = parent.input_box
+                    if (
+                        parent_box.kind != BoxKind.BASE
+                        or parent_box.table_name is None
+                        or parent_box.table_name.lower() != fk.ref_table.lower()
+                    ):
+                        continue
+                    if not self._fk_fully_equated(box, child, parent, fk):
+                        continue
+                    column_mapping = {
+                        ref.lower(): child_col
+                        for ref, child_col in zip(fk.ref_columns, fk.columns)
+                    }
+                    if not set(_references_to(graph, parent)) <= set(
+                        column_mapping
+                    ):
+                        continue
+                    yield child, parent, column_mapping
+
+    @staticmethod
+    def _fk_fully_equated(box, child, parent, fk):
+        equated = set()
+        for predicate in box.predicates:
+            sides = qe.equality_sides(predicate)
+            if sides is None:
+                continue
+            left, right = sides
+            if left.quantifier is parent and right.quantifier is child:
+                left, right = right, left
+            if left.quantifier is child and right.quantifier is parent:
+                equated.add((left.column.lower(), right.column.lower()))
+        return all(
+            (child_col.lower(), ref_col.lower()) in equated
+            for child_col, ref_col in zip(fk.columns, fk.ref_columns)
+        )
+
+    def _verify_elimination(self, box, context, checker, keep, drop,
+                            column_mapping):
+        """Perform the elimination on a cloned graph and ask the chase
+        whether the rewritten box is equivalent to the original."""
+        from repro.qgm.clone import clone_graph
+
+        trial_graph = clone_graph(context.graph)
+        trial_box = None
+        for candidate in trial_graph.boxes():
+            if candidate.box_id == box.box_id:
+                trial_box = candidate
+                break
+        if trial_box is None:
+            return False
+        try:
+            trial_keep = trial_box.quantifier(keep.name)
+            trial_drop = trial_box.quantifier(drop.name)
+        except Exception:
+            return False
+        eliminate_quantifier(
+            trial_box, trial_graph, trial_keep, trial_drop, column_mapping
+        )
+        verdict = checker.check_boxes(box, trial_box)
+        return verdict.status == "VERIFIED"

@@ -25,6 +25,10 @@ class RuleContext:
         # rule name -> diagnostic codes the soundness checker attributed to
         # the rule's firings (see repro.analysis.soundness).
         self.soundness_violations = {}
+        # rule name -> {VERIFIED/REFUTED/UNKNOWN: count} from chase-based
+        # translation validation, plus cumulative seconds spent verifying.
+        self.equivalence_verdicts = {}
+        self.equivalence_seconds = 0.0
 
     def record_firing(self, rule_name):
         self.firing_counts[rule_name] = self.firing_counts.get(rule_name, 0) + 1
@@ -45,6 +49,11 @@ class RuleContext:
     def record_soundness(self, rule_name, codes):
         self.soundness_violations.setdefault(rule_name, []).extend(codes)
 
+    def record_equivalence(self, rule_name, status, seconds=0.0):
+        per_rule = self.equivalence_verdicts.setdefault(rule_name, {})
+        per_rule[status] = per_rule.get(status, 0) + 1
+        self.equivalence_seconds += seconds
+
     def observability(self):
         """The per-rule counters as one plain dict (for outcome stats)."""
         return {
@@ -56,6 +65,11 @@ class RuleContext:
                 name: list(codes)
                 for name, codes in self.soundness_violations.items()
             },
+            "equivalence_verdicts": {
+                name: dict(counts)
+                for name, counts in self.equivalence_verdicts.items()
+            },
+            "equivalence_seconds": self.equivalence_seconds,
         }
 
 

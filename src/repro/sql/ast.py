@@ -359,14 +359,29 @@ class TableColumn(Node):
 
 
 @dataclass
+class ForeignKeySpec(Node):
+    """A table-level ``FOREIGN KEY (cols) REFERENCES table [(cols)]``.
+
+    ``ref_columns`` is None when the referenced column list was omitted;
+    it then resolves to the referenced table's primary key at CREATE time.
+    """
+
+    columns: List[str]
+    ref_table: str
+    ref_columns: Optional[List[str]] = None
+
+
+@dataclass
 class CreateTable(Statement):
     """``CREATE TABLE name (col [type] [PRIMARY KEY|UNIQUE], ...,
-    [PRIMARY KEY (cols)] [, UNIQUE (cols)]*)``."""
+    [PRIMARY KEY (cols)] [, UNIQUE (cols)]* [, FOREIGN KEY (cols)
+    REFERENCES t (cols)]*)``."""
 
     name: str
     columns: List[TableColumn]
     primary_key: Optional[List[str]] = None
     unique_keys: List[List[str]] = field(default_factory=list)
+    foreign_keys: List[ForeignKeySpec] = field(default_factory=list)
 
 
 @dataclass

@@ -140,6 +140,7 @@ class Parser:
         columns = []
         primary_key = None
         unique_keys = []
+        foreign_keys = []
         while True:
             if self._check_keyword("PRIMARY"):
                 self._advance()
@@ -162,6 +163,26 @@ class Parser:
                         self.current.column,
                     )
                 unique_keys.append(key)
+            elif self._check_keyword("FOREIGN"):
+                self._advance()
+                self._expect_keyword("KEY")
+                key = self._parse_optional_column_list()
+                if key is None:
+                    raise ParseError(
+                        "table-level FOREIGN KEY needs a column list",
+                        self.current.line,
+                        self.current.column,
+                    )
+                self._expect_keyword("REFERENCES")
+                ref_table = self._expect_identifier()
+                ref_columns = self._parse_optional_column_list()
+                foreign_keys.append(
+                    ast.ForeignKeySpec(
+                        columns=key,
+                        ref_table=ref_table,
+                        ref_columns=ref_columns,
+                    )
+                )
             else:
                 column_name = self._expect_identifier()
                 type_name = "ANY"
@@ -205,6 +226,7 @@ class Parser:
             columns=columns,
             primary_key=primary_key,
             unique_keys=unique_keys,
+            foreign_keys=foreign_keys,
         )
 
     def _parse_insert(self):

@@ -214,6 +214,8 @@ def to_sql(node):
                 text += " PRIMARY KEY"
             if column.unique:
                 text += " UNIQUE"
+            if column.not_null:
+                text += " NOT NULL"
             parts.append(text)
         inline_pk = [c.name for c in node.columns if c.primary_key]
         if node.primary_key and node.primary_key != inline_pk:
@@ -222,6 +224,14 @@ def to_sql(node):
             if len(key) == 1 and any(c.name == key[0] and c.unique for c in node.columns):
                 continue
             parts.append("UNIQUE (%s)" % ", ".join(key))
+        for fk in node.foreign_keys:
+            text = "FOREIGN KEY (%s) REFERENCES %s" % (
+                ", ".join(fk.columns),
+                fk.ref_table,
+            )
+            if fk.ref_columns is not None:
+                text += " (%s)" % ", ".join(fk.ref_columns)
+            parts.append(text)
         return "CREATE TABLE %s (%s)" % (node.name, ", ".join(parts))
     if isinstance(node, ast.InsertValues):
         rows = ", ".join(

@@ -70,6 +70,8 @@ KEYWORDS = frozenset(
         "PRIMARY",
         "KEY",
         "UNIQUE",
+        "FOREIGN",
+        "REFERENCES",
         "DELETE",
         "UPDATE",
         "SET",

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import random
 
-from repro.catalog import ColumnDef
+from repro.catalog import ColumnDef, ForeignKey
 from repro.engine import Database
 
 MKT_SEGMENTS = ("AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY")
@@ -105,6 +105,7 @@ def build_decision_support_database(scale=1.0, seed=7, database=None):
             ColumnDef("acctbal", "FLOAT", not_null=True),
         ],
         primary_key=["custkey"],
+        foreign_keys=[ForeignKey(("nationkey",), "nation", ("nationkey",))],
         rows=customers,
     )
     db.create_table(
@@ -118,6 +119,7 @@ def build_decision_support_database(scale=1.0, seed=7, database=None):
             ColumnDef("clerk", "STR", not_null=True),
         ],
         primary_key=["orderkey"],
+        foreign_keys=[ForeignKey(("custkey",), "customer", ("custkey",))],
         rows=orders,
     )
     db.create_table(
@@ -140,6 +142,10 @@ def build_decision_support_database(scale=1.0, seed=7, database=None):
             ColumnDef("quantity", "INT", not_null=True),
             ColumnDef("extendedprice", "FLOAT", not_null=True),
             ColumnDef("discount", "FLOAT", not_null=True),
+        ],
+        foreign_keys=[
+            ForeignKey(("orderkey",), "orders", ("orderkey",)),
+            ForeignKey(("partkey",), "part", ("partkey",)),
         ],
         rows=lineitems,
     )

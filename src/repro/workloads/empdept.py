@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import random
 
-from repro.catalog import ColumnDef
+from repro.catalog import ColumnDef, ForeignKey
 from repro.engine import Database
 
 JOBS = ("CLERK", "ANALYST", "SALES", "ENGINEER", "MANAGER")
@@ -62,7 +62,10 @@ def build_empdept_database(
         [
             ColumnDef("deptno", "STR", not_null=True),
             ColumnDef("deptname", "STR", not_null=True),
-            ColumnDef("mgrno", "INT"),
+            # Every department has a manager (the generator fills mgrno in
+            # before the rows are stored), so the column is NOT NULL and
+            # its UNIQUE key yields a usable functional dependency.
+            ColumnDef("mgrno", "INT", not_null=True),
             ColumnDef("division", "STR", not_null=True),
             ColumnDef("budget", "INT", not_null=True),
         ],
@@ -80,6 +83,9 @@ def build_empdept_database(
             ColumnDef("job", "STR", not_null=True),
         ],
         primary_key=["empno"],
+        foreign_keys=[
+            ForeignKey(("workdept",), "department", ("deptno",)),
+        ],
         rows=employees,
     )
     return db

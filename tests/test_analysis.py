@@ -485,6 +485,75 @@ def _always_null_column(db):
     return dataflow(graph, db)
 
 
+def fk_db():
+    """Parent/child tables with a NOT NULL foreign key — the shape the
+    chase-based equivalence pass reasons about."""
+    db = Database()
+    db.create_table(
+        "parent",
+        [ColumnDef("pid", "INT"), ColumnDef("payload", "STR")],
+        primary_key=["pid"],
+        rows=[(1, "a"), (2, "b")],
+    )
+    db.create_table(
+        "child",
+        [
+            ColumnDef("cid", "INT"),
+            ColumnDef("pid", "INT", not_null=True),
+            ColumnDef("val", "INT"),
+        ],
+        primary_key=["cid"],
+        foreign_keys=[(["pid"], "parent", None)],
+        rows=[(10, 1, 100), (11, 2, 200)],
+    )
+    return db
+
+
+def equivalence(graph, db):
+    from repro.analysis.equivalence_checks import EquivalencePass
+
+    return analyze_graph(graph, catalog=db.catalog, passes=[EquivalencePass()])
+
+
+@case("QGM601", Severity.ERROR, box="Q", rule="evil")
+def _chase_refuted_firing(db):
+    from repro.analysis.equivalence import EquivalenceChecker
+    from repro.qgm.clone import clone_graph
+
+    graph = build("SELECT e.empno FROM emp e WHERE e.salary = 100", db)
+    before = clone_graph(graph)
+    checker = SoundnessChecker(
+        graph, equivalence_checker=EquivalenceChecker(db.catalog)
+    )
+    graph.top_box.predicates = []  # an unsound "rewrite": drop the filter
+    with pytest.raises(QgmError):
+        checker.after_firing(graph, "evil", before=before)
+    report = AnalysisReport()
+    report.extend(checker.attributed["evil"])
+    return report
+
+
+@case("QGM602", Severity.WARNING, box="Q", quantifier="p")
+def _semantically_redundant_join(db):
+    db = fk_db()
+    graph = build(
+        "SELECT c.val FROM child c, parent p WHERE c.pid = p.pid", db
+    )
+    return equivalence(graph, db)
+
+
+@case("QGM603", Severity.INFO, box="Q")
+def _implied_equality(db):
+    # e.empno = e2.empno pins one emp row (empno is the key), so the
+    # second equality is implied by the FD empno -> empname.
+    graph = build(
+        "SELECT e.empno FROM emp e, emp e2 "
+        "WHERE e.empno = e2.empno AND e.empname = e2.empname",
+        db,
+    )
+    return equivalence(graph, db)
+
+
 def test_every_registered_code_has_a_case():
     assert set(CASES) == set(CODES)
 
@@ -518,6 +587,7 @@ def test_clean_graph_produces_empty_report(typed_db):
     assert report.summary().startswith("0 error(s)")
     assert set(report.pass_seconds) == {
         "structural", "typecheck", "deadcode", "magic", "dataflow",
+        "equivalence",
     }
 
 
@@ -609,7 +679,9 @@ def test_soundness_checker_absorbs_new_warnings(typed_db):
 
 def test_soundness_passes_exclude_deadcode_and_types():
     names = {p.name for p in soundness_passes()}
-    assert names == {"structural", "magic", "dataflow"}
+    assert names == {"structural", "magic", "dataflow", "equivalence"}
+    shallow = next(p for p in soundness_passes() if p.name == "equivalence")
+    assert shallow.deep is False
 
 
 # -- end-to-end: paranoid mode attributes chaos corruption to its rule --------

@@ -1,0 +1,586 @@
+"""The chase-based equivalence subsystem: canonicalization, dependencies,
+the chase, verdicts, FOREIGN KEY DDL surface, the generalized
+redundant-join rule, and the translation-validation acceptance criteria
+(unsound firings are refuted and quarantined; the shipped workloads
+produce zero REFUTED verdicts)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Connection, Database, ResiliencePolicy
+from repro.analysis.equivalence import (
+    REFUTED,
+    UNKNOWN,
+    VERIFIED,
+    CannotCanonicalize,
+    ChaseBudget,
+    EquivalenceChecker,
+    canonicalize_graph,
+    chase,
+    dependencies_from_catalog,
+)
+from repro.catalog import ColumnDef
+from repro.engine import Evaluator
+from repro.errors import CatalogError
+from repro.qgm import BoxKind, build_query_graph, validate_graph
+from repro.rewrite import RewriteEngine
+from repro.rewrite.redundant_join import RedundantJoinRule
+from repro.rewrite.rule import RewriteRule
+from repro.sql import parse_script, parse_statement, to_sql
+from repro.workloads.decision_support import build_decision_support_database
+from repro.workloads.empdept import PAPER_VIEWS_SQL, build_empdept_database
+
+from tests.helpers import canonical
+
+
+@pytest.fixture
+def empdept():
+    db = build_empdept_database(
+        n_departments=6, employees_per_department=4, seed=3
+    )
+    for view in parse_script(PAPER_VIEWS_SQL).views:
+        db.catalog.add_view(view)
+    return db
+
+
+@pytest.fixture
+def ds():
+    return build_decision_support_database(scale=0.05, seed=5)
+
+
+def build(sql, db):
+    return build_query_graph(parse_statement(sql), db.catalog)
+
+
+def verdict_between(db, left_sql, right_sql, budget=None):
+    checker = EquivalenceChecker(db.catalog, budget=budget)
+    return checker.check_graphs(build(left_sql, db), build(right_sql, db))
+
+
+def rows_of(graph, db):
+    return Evaluator(graph, db).run().rows
+
+
+# -- canonicalization ---------------------------------------------------------
+
+
+def test_select_canonicalizes_to_one_disjunct(empdept):
+    graph = build(
+        "SELECT e.empno, d.deptname FROM employee e, department d "
+        "WHERE e.workdept = d.deptno AND e.salary > 50000",
+        empdept,
+    )
+    query = canonicalize_graph(graph)
+    assert len(query.disjuncts) == 1
+    assert query.arity == 2
+    tableau = query.disjuncts[0]
+    assert {a.relation for a in tableau.atoms} == {"employee", "department"}
+    assert tableau.has_builtins()  # the range predicate
+
+
+def test_union_canonicalizes_per_input(empdept):
+    graph = build(
+        "SELECT d.deptno FROM department d WHERE d.deptname = 'Planning' "
+        "UNION SELECT e.workdept FROM employee e",
+        empdept,
+    )
+    query = canonicalize_graph(graph)
+    assert len(query.disjuncts) == 2
+    assert query.duplicate_free  # UNION deduplicates
+
+
+def test_groupby_is_out_of_fragment(empdept):
+    graph = build(
+        "SELECT e.workdept, AVG(e.salary) FROM employee e "
+        "GROUP BY e.workdept",
+        empdept,
+    )
+    with pytest.raises(CannotCanonicalize):
+        canonicalize_graph(graph)
+
+
+def test_limit_is_out_of_fragment(empdept):
+    graph = build("SELECT e.empno FROM employee e", empdept)
+    graph.limit = 5
+    with pytest.raises(CannotCanonicalize):
+        canonicalize_graph(graph)
+
+
+def test_view_expansion_inlines_into_the_tableau(empdept):
+    graph = build("SELECT m.empname FROM mgrSal m", empdept)
+    query = canonicalize_graph(graph)
+    assert {a.relation for a in query.disjuncts[0].atoms} == {
+        "employee",
+        "department",
+    }
+
+
+# -- dependencies -------------------------------------------------------------
+
+
+def test_dependencies_from_empdept_catalog(empdept):
+    deps = dependencies_from_catalog(empdept.catalog)
+    # department: deptno (PK) and mgrno (UNIQUE, NOT NULL); employee: empno.
+    assert {fd.determinant for fd in deps.fds["department"]} == {(0,), (2,)}
+    assert len(deps.fds["employee"]) == 1
+    # employee.workdept -> department.deptno is NOT NULL, so it proves.
+    assert [ind.parent for ind in deps.inds["employee"]] == ["department"]
+    assert not deps.repair_inds
+
+
+def test_nullable_fk_is_repair_only():
+    db = Database()
+    db.create_table(
+        "p", [ColumnDef("pid", "INT")], primary_key=["pid"]
+    )
+    db.create_table(
+        "c",
+        [ColumnDef("cid", "INT"), ColumnDef("pid", "INT")],  # pid nullable
+        primary_key=["cid"],
+        foreign_keys=[(["pid"], "p", None)],
+    )
+    deps = dependencies_from_catalog(db.catalog)
+    assert "c" not in deps.inds
+    assert [ind.parent for ind in deps.repair_inds["c"]] == ["p"]
+
+
+# -- the chase ----------------------------------------------------------------
+
+
+def test_chase_unifies_key_equated_self_join(empdept):
+    graph = build(
+        "SELECT d1.deptname FROM department d1, department d2 "
+        "WHERE d1.deptno = d2.deptno",
+        empdept,
+    )
+    tableau = canonicalize_graph(graph).disjuncts[0]
+    assert len(tableau.atoms) == 2
+    deps = dependencies_from_catalog(empdept.catalog)
+    chased = chase(tableau, deps)
+    assert len(chased.atoms) == 1  # the key FD merged the two copies
+    assert chased.bag_exact  # merging keyed rows is bag-sound
+
+
+def test_chase_adds_fk_parent_as_existential(empdept):
+    # Head must not pin employee's key, or the anchoring analysis would
+    # (correctly) demote the employee atom itself to existential.
+    graph = build("SELECT e.empname FROM employee e", empdept)
+    tableau = canonicalize_graph(graph).disjuncts[0]
+    deps = dependencies_from_catalog(empdept.catalog)
+    chased = chase(tableau, deps)
+    by_relation = {a.relation: a for a in chased.atoms}
+    assert not by_relation["employee"].existential
+    assert by_relation["department"].existential
+
+
+def test_chase_demotes_atom_whose_key_is_in_the_head(empdept):
+    # One row per distinct empno: multiplicity is pinned by the head, so
+    # the atom is safely existential for bag comparisons.
+    graph = build("SELECT e.empno FROM employee e", empdept)
+    tableau = canonicalize_graph(graph).disjuncts[0]
+    deps = dependencies_from_catalog(empdept.catalog)
+    chased = chase(tableau, deps)
+    by_relation = {a.relation: a for a in chased.atoms}
+    assert by_relation["employee"].existential
+
+
+def test_chase_budget_marks_incomplete(ds):
+    graph = build(
+        "SELECT l.quantity FROM lineitem l, orders o "
+        "WHERE l.orderkey = o.orderkey",
+        ds,
+    )
+    tableau = canonicalize_graph(graph).disjuncts[0]
+    deps = dependencies_from_catalog(ds.catalog)
+    chased = chase(tableau, deps, ChaseBudget(max_steps=1))
+    assert not chased.chase_complete
+
+
+# -- verdicts -----------------------------------------------------------------
+
+
+def test_identical_queries_are_bag_verified(empdept):
+    sql = (
+        "SELECT e.empno, e.salary FROM employee e, department d "
+        "WHERE e.workdept = d.deptno AND e.salary > 40000"
+    )
+    verdict = verdict_between(empdept, sql, sql)
+    assert verdict.status == VERIFIED
+    assert verdict.bag
+
+
+def test_contradictory_queries_are_provably_empty(empdept):
+    sql = (
+        "SELECT d.deptname FROM department d "
+        "WHERE d.deptno = 'D0001' AND d.deptno = 'D0002'"
+    )
+    verdict = verdict_between(empdept, sql, sql)
+    assert verdict.status == VERIFIED
+    assert "empty" in verdict.reason
+
+
+def test_fk_covered_parent_join_is_bag_verified(empdept):
+    verdict = verdict_between(
+        empdept,
+        "SELECT e.empno, e.salary FROM employee e, department d "
+        "WHERE e.workdept = d.deptno",
+        "SELECT e.empno, e.salary FROM employee e",
+    )
+    assert verdict.status == VERIFIED
+    assert verdict.bag
+
+
+def test_fk_chain_join_is_bag_verified(ds):
+    verdict = verdict_between(
+        ds,
+        "SELECT l.quantity FROM lineitem l, orders o, customer c "
+        "WHERE l.orderkey = o.orderkey AND o.custkey = c.custkey",
+        "SELECT l.quantity FROM lineitem l",
+    )
+    assert verdict.status == VERIFIED
+    assert verdict.bag
+
+
+def test_dropping_a_filter_is_refuted_with_counterexample(empdept):
+    verdict = verdict_between(
+        empdept,
+        "SELECT e.empno FROM employee e WHERE e.salary = 100000",
+        "SELECT e.empno FROM employee e",
+    )
+    assert verdict.status == REFUTED
+    counterexample = verdict.counterexample
+    assert counterexample["missing_from"] == "left"
+    assert counterexample["tables"]["employee"]
+    # The frozen database satisfies the declared FK: every employee's
+    # workdept appears as a department deptno.
+    departments = {row[0] for row in counterexample["tables"]["department"]}
+    for row in counterexample["tables"]["employee"]:
+        assert row[2] in departments
+
+
+def test_projection_swap_is_refuted(empdept):
+    verdict = verdict_between(
+        empdept,
+        "SELECT e.empno, e.salary FROM employee e",
+        "SELECT e.salary, e.empno FROM employee e",
+    )
+    assert verdict.status == REFUTED
+
+
+def test_non_key_self_join_drop_is_unknown(empdept):
+    # Set-equivalent, but the self-join multiplies multiplicities, so
+    # neither VERIFIED nor REFUTED is sound.
+    verdict = verdict_between(
+        empdept,
+        "SELECT e1.workdept FROM employee e1, employee e2 "
+        "WHERE e1.workdept = e2.workdept",
+        "SELECT e.workdept FROM employee e",
+    )
+    assert verdict.status == UNKNOWN
+
+
+def test_distinct_makes_self_join_drop_set_verified(empdept):
+    verdict = verdict_between(
+        empdept,
+        "SELECT DISTINCT e1.workdept FROM employee e1, employee e2 "
+        "WHERE e1.workdept = e2.workdept",
+        "SELECT DISTINCT e.workdept FROM employee e",
+    )
+    assert verdict.status == VERIFIED
+    assert not verdict.bag  # set equality of duplicate-free queries
+
+
+def test_union_is_order_insensitive(empdept):
+    verdict = verdict_between(
+        empdept,
+        "SELECT d.deptno FROM department d WHERE d.deptname = 'Planning' "
+        "UNION SELECT e.workdept FROM employee e",
+        "SELECT e.workdept FROM employee e "
+        "UNION SELECT d.deptno FROM department d WHERE d.deptname = 'Planning'",
+    )
+    assert verdict.status == VERIFIED
+
+
+def test_aggregates_yield_unknown_not_refuted(empdept):
+    verdict = verdict_between(
+        empdept,
+        "SELECT e.workdept, AVG(e.salary) FROM employee e GROUP BY e.workdept",
+        "SELECT e.workdept, AVG(e.salary) FROM employee e GROUP BY e.workdept",
+    )
+    assert verdict.status == UNKNOWN
+    assert "side" in verdict.reason
+
+
+def test_exhausted_hom_budget_yields_unknown(empdept):
+    sql = (
+        "SELECT e1.empno FROM employee e1, employee e2, employee e3 "
+        "WHERE e1.workdept = e2.workdept AND e2.workdept = e3.workdept"
+    )
+    verdict = verdict_between(
+        empdept, sql, sql, budget=ChaseBudget(max_hom_nodes=1)
+    )
+    assert verdict.status == UNKNOWN
+    assert "budget" in verdict.reason
+
+
+def test_implied_equality_via_key_fd(empdept):
+    graph = build(
+        "SELECT e1.empno FROM employee e1, employee e2 "
+        "WHERE e1.empno = e2.empno AND e1.empname = e2.empname",
+        empdept,
+    )
+    box = graph.top_box
+    checker = EquivalenceChecker(empdept.catalog)
+    implied = [p for p in box.predicates if checker.implied_equality(box, p)]
+    # empno = empno pins the row, so empname = empname is implied — and
+    # vice versa is NOT (empname is no key).
+    assert len(implied) == 1
+
+
+def test_checker_counts_verdicts(empdept):
+    checker = EquivalenceChecker(empdept.catalog)
+    sql = "SELECT e.empno FROM employee e"
+    checker.check_graphs(build(sql, empdept), build(sql, empdept))
+    assert checker.counts[VERIFIED] == 1
+    assert checker.seconds >= 0.0
+
+
+# -- FOREIGN KEY DDL surface --------------------------------------------------
+
+FK_DDL = (
+    "CREATE TABLE child (cid INT NOT NULL, pid INT NOT NULL, tag STR, "
+    "PRIMARY KEY (cid), UNIQUE (tag), "
+    "FOREIGN KEY (pid) REFERENCES parent (pid))"
+)
+
+
+def test_create_table_parses_foreign_key_and_unique():
+    statement = parse_statement(FK_DDL)
+    assert statement.primary_key == ["cid"]
+    assert [list(key) for key in statement.unique_keys] == [["tag"]]
+    (fk,) = statement.foreign_keys
+    assert list(fk.columns) == ["pid"]
+    assert fk.ref_table == "parent"
+    assert list(fk.ref_columns) == ["pid"]
+
+
+def test_create_table_foreign_key_round_trips_through_printer():
+    rendered = to_sql(parse_statement(FK_DDL))
+    assert "FOREIGN KEY (pid) REFERENCES parent (pid)" in rendered
+    assert "UNIQUE (tag)" in rendered
+    again = to_sql(parse_statement(rendered))
+    assert again == rendered
+
+
+def test_connection_ddl_declares_foreign_key():
+    connection = Connection(Database())
+    connection.run_script(
+        "CREATE TABLE parent (pid INT NOT NULL, PRIMARY KEY (pid));" + FK_DDL
+    )
+    schema = connection.database.catalog.table("child")
+    (fk,) = schema.foreign_keys
+    assert fk.ref_table == "parent"
+    deps = dependencies_from_catalog(connection.database.catalog)
+    assert [ind.parent for ind in deps.inds["child"]] == ["parent"]
+
+
+def test_catalog_rejects_fk_to_non_key_columns():
+    db = Database()
+    db.create_table("p", [ColumnDef("pid", "INT"), ColumnDef("x", "INT")])
+    with pytest.raises(CatalogError):
+        db.create_table(
+            "c",
+            [ColumnDef("cid", "INT"), ColumnDef("pid", "INT")],
+            foreign_keys=[(["pid"], "p", ["x"])],
+        )
+
+
+def test_foreign_key_arity_mismatch_rejected():
+    from repro.catalog import ForeignKey
+
+    with pytest.raises(CatalogError):
+        ForeignKey(("a", "b"), "p", ("x",))
+
+
+# -- the generalized redundant-join rule --------------------------------------
+
+
+def run_redundant_join(graph):
+    engine = RewriteEngine([RedundantJoinRule()])
+    context = engine.run_phase(graph, 1)
+    validate_graph(graph)
+    return context
+
+
+def test_same_table_distinct_base_boxes_eliminated(empdept):
+    # Satellite: the syntactic tier must match two *distinct* BASE boxes
+    # over one stored table, not just one shared box object.
+    import copy
+
+    sql = (
+        "SELECT d1.deptname FROM department d1, department d2 "
+        "WHERE d1.deptno = d2.deptno AND d2.deptname = 'Planning'"
+    )
+    before = rows_of(build(sql, empdept), empdept)
+    graph = build(sql, empdept)
+    second = graph.top_box.foreach_quantifiers()[1]
+    first = graph.top_box.foreach_quantifiers()[0]
+    assert first.input_box is second.input_box  # builder shares base boxes
+    second.input_box = copy.deepcopy(second.input_box)
+    run_redundant_join(graph)
+    assert len(graph.top_box.foreach_quantifiers()) == 1
+    assert canonical(rows_of(graph, empdept)) == canonical(before)
+
+
+def test_view_self_join_eliminated_by_chase(empdept):
+    # Query-D shape: the same view referenced twice, joined on a key of
+    # the underlying table. The builder shares one expansion box between
+    # the two quantifiers; only the chase can prove the elimination sound
+    # (a view box declares no key of its own).
+    sql = (
+        "SELECT m1.empname, m2.salary FROM mgrSal m1, mgrSal m2 "
+        "WHERE m1.empno = m2.empno"
+    )
+    before = rows_of(build(sql, empdept), empdept)
+    graph = build(sql, empdept)
+    assert len(graph.top_box.foreach_quantifiers()) == 2
+    context = run_redundant_join(graph)
+    assert len(graph.top_box.foreach_quantifiers()) == 1
+    assert context.firing_counts.get("redundant-join") == 1
+    assert canonical(rows_of(graph, empdept)) == canonical(before)
+
+
+def test_view_self_join_with_distinct_expansion_boxes(empdept):
+    # The same shape with the sharing physically broken: two *distinct*
+    # view-expansion SELECT boxes, matched through their base-table
+    # footprint rather than object identity.
+    import copy
+
+    sql = (
+        "SELECT m1.empname, m2.salary FROM mgrSal m1, mgrSal m2 "
+        "WHERE m1.empno = m2.empno"
+    )
+    before = rows_of(build(sql, empdept), empdept)
+    graph = build(sql, empdept)
+    first, second = graph.top_box.foreach_quantifiers()
+    assert first.input_box is second.input_box  # builder shares the box
+    second.input_box = copy.deepcopy(second.input_box)
+    run_redundant_join(graph)
+    assert len(graph.top_box.foreach_quantifiers()) == 1
+    assert canonical(rows_of(graph, empdept)) == canonical(before)
+
+
+def test_fk_covered_parent_join_eliminated(ds):
+    sql = (
+        "SELECT l.quantity, l.extendedprice FROM lineitem l, orders o "
+        "WHERE l.orderkey = o.orderkey"
+    )
+    before = rows_of(build(sql, ds), ds)
+    assert before  # the join actually produces rows at this scale
+    graph = build(sql, ds)
+    run_redundant_join(graph)
+    assert len(graph.top_box.foreach_quantifiers()) == 1
+    assert {q.input_box.table_name for q in graph.top_box.quantifiers} == {
+        "lineitem"
+    }
+    assert canonical(rows_of(graph, ds)) == canonical(before)
+
+
+def test_parent_join_kept_when_parent_columns_are_used(ds):
+    sql = (
+        "SELECT l.quantity, o.totalprice FROM lineitem l, orders o "
+        "WHERE l.orderkey = o.orderkey"
+    )
+    graph = build(sql, ds)
+    run_redundant_join(graph)
+    assert len(graph.top_box.foreach_quantifiers()) == 2
+
+
+def test_non_key_self_join_still_kept(empdept):
+    sql = (
+        "SELECT e1.empno FROM employee e1, employee e2 "
+        "WHERE e1.workdept = e2.workdept"
+    )
+    graph = build(sql, empdept)
+    run_redundant_join(graph)
+    assert len(graph.top_box.foreach_quantifiers()) == 2
+
+
+# -- translation validation: acceptance ---------------------------------------
+
+
+class DropPredicateRule(RewriteRule):
+    """An intentionally unsound rule: silently deletes a predicate."""
+
+    name = "drop-predicate"
+    phases = frozenset({1})
+    priority = 10
+
+    def applies_to(self, box, context):
+        return (
+            box.kind == BoxKind.SELECT
+            and not box.is_special
+            and bool(box.predicates)
+        )
+
+    def apply(self, box, context):
+        box.predicates = box.predicates[:-1]
+        return True
+
+
+def test_unsound_rule_is_refuted_and_quarantined(empdept):
+    sql = "SELECT e.empno FROM employee e WHERE e.salary = 100000"
+    before = rows_of(build(sql, empdept), empdept)
+    graph = build(sql, empdept)
+    policy = ResiliencePolicy(paranoid=True)
+    policy.begin_query()
+    engine = RewriteEngine([DropPredicateRule()])
+    context = engine.run_phase(graph, 1, resilience=policy)
+    # The firing was refuted, rolled back, and the rule quarantined.
+    assert "drop-predicate" in policy.quarantine
+    assert "QGM601" in context.soundness_violations["drop-predicate"]
+    assert context.equivalence_verdicts["drop-predicate"]["REFUTED"] == 1
+    assert len(graph.top_box.predicates) == 1  # the rollback restored it
+    assert canonical(rows_of(graph, empdept)) == canonical(before)
+
+
+def test_sound_rules_never_refuted_under_paranoid(empdept):
+    connection = Connection(empdept)
+    policy = ResiliencePolicy(paranoid=True)
+    outcome = connection.explain_execute(
+        "SELECT m1.empname, m2.salary FROM mgrSal m1, mgrSal m2 "
+        "WHERE m1.empno = m2.empno",
+        strategy="emst",
+        resilience=policy,
+    )
+    verdicts = outcome.stats.get("equivalence_verdicts", {})
+    assert verdicts  # paranoid mode validated the firings
+    for statuses in verdicts.values():
+        assert not statuses.get(REFUTED)
+    # Pre-existing structural diagnostics may quarantine other rules
+    # (e.g. QGM401 adornment arity from projection pruning); translation
+    # validation itself must not be the cause of any quarantine.
+    violations = outcome.stats.get("soundness_violations", {})
+    for codes in violations.values():
+        assert "QGM601" not in codes
+
+
+def test_workload_sweep_has_zero_refutations():
+    from repro.analysis.translation_validate import validate_workloads
+
+    results = validate_workloads(scale=0.02)
+    assert results
+    assert sum(counts["REFUTED"] for _, counts, _ in results) == 0
+    assert all(not refuted for _, _, refuted in results)
+
+
+def test_equivalence_opt_out_skips_validation(empdept):
+    connection = Connection(empdept)
+    policy = ResiliencePolicy(paranoid=True, equivalence=False)
+    outcome = connection.explain_execute(
+        "SELECT e.empname FROM employee e WHERE e.salary > 40000",
+        strategy="emst",
+        resilience=policy,
+    )
+    assert not outcome.stats.get("equivalence_verdicts")
