@@ -55,6 +55,18 @@ def main(scale=1.0):
         )
     )
     lines.append("")
+    lines.append("## Regenerated numbers")
+    lines.append("")
+    lines.append(
+        "`distinct_drop.json` and `scaling.txt` are regenerated at scale"
+        " 1.0 since the columnar batch executor landed: `scaling.txt`"
+        " gained a `batchx` column (batch vs tuple on the original plan)"
+        " and `distinct_drop.json` reports per-executor speedups, each"
+        " the median of interleaved relaxed/forced run pairs with the GC"
+        " held off during timing. Earlier `.txt` figures predate the"
+        " batch executor and still time the tuple engine."
+    )
+    lines.append("")
 
     # Figures and ablations are produced by their pytest benches; collect
     # whatever outputs exist.

@@ -40,6 +40,47 @@ from repro.optimizer.heuristic import optimize_with_heuristic
 
 STRATEGIES = ("original", "correlated", "emst", "phase1", "norewrite")
 
+#: Execution engines: ``"batch"`` is the columnar vectorized executor,
+#: ``"tuple"`` the classic row-at-a-time engine (and differential oracle).
+EXECUTORS = ("tuple", "batch")
+
+
+def _build_evaluator(graph, database, strategy, executor, join_orders,
+                     governor, fault_plan):
+    """The evaluator for one (strategy, executor) choice.
+
+    The ``correlated`` strategy is tuple-at-a-time by definition (its
+    whole point is per-binding evaluation), so it ignores the executor
+    switch; every set-oriented strategy runs columnar under
+    ``executor="batch"``.
+    """
+    if executor not in EXECUTORS:
+        raise ReproError(
+            "unknown executor %r (expected one of %s)"
+            % (executor, ", ".join(EXECUTORS))
+        )
+    if strategy == "correlated":
+        return CorrelatedEvaluator(
+            graph, database, join_orders=join_orders,
+            governor=governor, fault_plan=fault_plan,
+        )
+    if executor == "batch":
+        from repro.engine.columnar import BatchEvaluator
+
+        evaluator_class = BatchEvaluator
+    else:
+        evaluator_class = Evaluator
+    # The Original strategy re-evaluates correlated subqueries per outer
+    # row without caching, like the systems of the era.
+    return evaluator_class(
+        graph,
+        database,
+        join_orders=join_orders,
+        memoize_correlated=(strategy == "emst"),
+        governor=governor,
+        fault_plan=fault_plan,
+    )
+
 
 def _describe_rules(context):
     """Per-rule observability lines for ``Connection.explain``."""
@@ -99,6 +140,8 @@ class ExecutionOutcome:
     heuristic: Optional[object] = None
     elapsed_seconds: float = 0.0
     rewrite_seconds: float = 0.0
+    #: Which execution engine produced the result ("tuple" or "batch").
+    executor: str = "tuple"
     stats: Dict[str, int] = field(default_factory=dict)
     #: A FallbackReport when the query ran under a ResiliencePolicy.
     resilience: Optional[object] = None
@@ -143,6 +186,7 @@ class PreparedQuery:
     heuristic: Optional[object]
     strategy: str
     resilience: Optional[object] = None
+    executor: str = "tuple"
 
     def execute(self):
         join_orders = self.plan.join_orders if self.plan is not None else None
@@ -153,24 +197,10 @@ class PreparedQuery:
             self.resilience.governor.begin_query()
             governor = self.resilience.governor
             fault_plan = self.resilience.fault_plan
-        if self.strategy == "correlated":
-            from repro.engine import CorrelatedEvaluator
-
-            evaluator = CorrelatedEvaluator(
-                self.graph, self.database, join_orders=join_orders,
-                governor=governor, fault_plan=fault_plan,
-            )
-        else:
-            from repro.engine import Evaluator
-
-            evaluator = Evaluator(
-                self.graph,
-                self.database,
-                join_orders=join_orders,
-                memoize_correlated=(self.strategy == "emst"),
-                governor=governor,
-                fault_plan=fault_plan,
-            )
+        evaluator = _build_evaluator(
+            self.graph, self.database, self.strategy, self.executor,
+            join_orders, governor, fault_plan,
+        )
         result = evaluator.run()
         return result, evaluator.stats
 
@@ -184,15 +214,29 @@ class Connection:
     strategy chain ``emst -> phase1 -> original`` instead of raising. The
     same policy object can also be passed per call to ``execute_query``/
     ``explain_execute``.
+
+    ``executor`` selects the execution engine for every query on the
+    connection: ``"tuple"`` (default) is the classic row-at-a-time
+    evaluator, ``"batch"`` the columnar vectorized one. Under a
+    resilience policy a batch-executor failure falls back to the tuple
+    engine on the same strategy before the strategy chain degrades.
     """
 
-    def __init__(self, database, resilience=None):
+    def __init__(self, database, resilience=None, executor="tuple"):
+        if executor not in EXECUTORS:
+            raise ReproError(
+                "unknown executor %r (expected one of %s)"
+                % (executor, ", ".join(EXECUTORS))
+            )
         self.database = database
         self.resilience = resilience
+        self.executor = executor
 
-    def prepare_statement(self, sql_text, strategy="emst", resilience=None):
+    def prepare_statement(self, sql_text, strategy="emst", resilience=None,
+                          executor=None):
         """Parse, rewrite and plan once; returns a :class:`PreparedQuery`."""
         resilience = resilience if resilience is not None else self.resilience
+        executor = executor if executor is not None else self.executor
         if resilience is not None:
             resilience.begin_query()
         script = parse_script(sql_text)
@@ -211,6 +255,7 @@ class Connection:
             heuristic=heuristic,
             strategy=strategy,
             resilience=resilience,
+            executor=executor,
         )
 
     # -- statements -------------------------------------------------------------
@@ -386,12 +431,14 @@ class Connection:
         table.invalidate_indexes()
         self.database.analyze(statement.table)
 
-    def execute(self, sql_text, strategy="emst"):
+    def execute(self, sql_text, strategy="emst", executor=None):
         """Parse and execute a single query; returns the Result."""
-        return self.explain_execute(sql_text, strategy=strategy).result
+        return self.explain_execute(
+            sql_text, strategy=strategy, executor=executor
+        ).result
 
     def explain_execute(self, sql_text, strategy="emst", resilience=None,
-                        analyze=False):
+                        analyze=False, executor=None):
         """Parse and execute a single query; returns an ExecutionOutcome.
 
         ``analyze=True`` additionally runs the full static-analysis suite
@@ -406,7 +453,7 @@ class Connection:
         with self.database.catalog.scoped_views(script.views):
             return self.execute_query(
                 queries[0], strategy=strategy, resilience=resilience,
-                analyze=analyze,
+                analyze=analyze, executor=executor,
             )
 
     # -- core ---------------------------------------------------------------------
@@ -440,31 +487,51 @@ class Connection:
         )
 
     def execute_query(self, query, strategy="emst", resilience=None,
-                      analyze=False):
+                      analyze=False, executor=None):
         resilience = resilience if resilience is not None else self.resilience
+        executor = executor if executor is not None else self.executor
         if resilience is None:
-            return self._execute_once(query, strategy, None, analyze=analyze)
+            return self._execute_once(
+                query, strategy, None, analyze=analyze, executor=executor
+            )
         resilience.begin_query()
         attempts = []
         last_error = None
+        # The degradation lattice: for every strategy in the chain, try
+        # the requested executor first, then (if that was "batch") retry
+        # the same strategy on the tuple engine before degrading the
+        # strategy — an executor bug must never cost rewrite quality.
+        candidates = []
         for candidate in resilience.chain_for(strategy):
+            candidates.append((candidate, executor))
+            if executor == "batch" and candidate != "correlated":
+                candidates.append((candidate, "tuple"))
+        for candidate, candidate_executor in candidates:
             try:
                 outcome = self._execute_once(
-                    query, candidate, resilience, analyze=analyze
+                    query, candidate, resilience, analyze=analyze,
+                    executor=candidate_executor,
                 )
             except Exception as exc:
                 # Fail soft on *anything* a strategy threw — a corrupted
                 # graph can surface as an arbitrary exception far from the
                 # rule that broke it. The last chain entry re-raises. Blown
                 # budgets propagate (unless the policy opts in): a limit
-                # exceeded under emst would be exceeded under original too.
+                # exceeded under emst would be exceeded under original too
+                # — and a blown budget on the batch engine would also blow
+                # on the (slower) tuple engine.
                 if (
                     isinstance(exc, ResourceExhaustedError)
                     and not resilience.fallback_on_exhaustion
                 ):
                     raise
                 attempts.append(
-                    (candidate, "%s: %s" % (type(exc).__name__, exc))
+                    (
+                        candidate
+                        if candidate_executor == executor
+                        else "%s (%s executor)" % (candidate, candidate_executor),
+                        "%s: %s" % (type(exc).__name__, exc),
+                    )
                 )
                 last_error = exc
                 continue
@@ -473,12 +540,15 @@ class Connection:
                 executed=candidate,
                 attempts=attempts,
                 quarantined=dict(resilience.quarantine.reasons),
+                requested_executor=executor,
+                executed_executor=candidate_executor,
             )
             return outcome
         raise last_error
 
-    def _execute_once(self, query, strategy, resilience, analyze=False):
-        """One prepare + execute under one strategy (no fallback)."""
+    def _execute_once(self, query, strategy, resilience, analyze=False,
+                      executor="tuple"):
+        """One prepare + execute under one (strategy, executor); no fallback."""
         graph, plan, heuristic, rewrite_seconds = self.prepare(
             query, strategy, resilience=resilience
         )
@@ -492,22 +562,10 @@ class Connection:
         governor = resilience.governor if resilience is not None else None
         fault_plan = resilience.fault_plan if resilience is not None else None
         started = time.perf_counter()
-        if strategy == "correlated":
-            evaluator = CorrelatedEvaluator(
-                graph, self.database, join_orders=join_orders,
-                governor=governor, fault_plan=fault_plan,
-            )
-        else:
-            # The Original strategy re-evaluates correlated subqueries per
-            # outer row without caching, like the systems of the era.
-            evaluator = Evaluator(
-                graph,
-                self.database,
-                join_orders=join_orders,
-                memoize_correlated=(strategy == "emst"),
-                governor=governor,
-                fault_plan=fault_plan,
-            )
+        evaluator = _build_evaluator(
+            graph, self.database, strategy, executor,
+            join_orders, governor, fault_plan,
+        )
         result = evaluator.run()
         elapsed = time.perf_counter() - started
         stats = evaluator.stats.as_dict()
@@ -525,12 +583,14 @@ class Connection:
             heuristic=heuristic,
             elapsed_seconds=elapsed,
             rewrite_seconds=rewrite_seconds,
+            executor=executor,
             stats=stats,
             diagnostics=report,
         )
 
-    def explain(self, sql_text, strategy="emst"):
+    def explain(self, sql_text, strategy="emst", executor=None):
         """Return a textual explanation: the (rewritten) graph and plan."""
+        executor = executor if executor is not None else self.executor
         script = parse_script(sql_text)
         queries = script.queries
         if len(queries) != 1:
@@ -538,6 +598,15 @@ class Connection:
         with self.database.catalog.scoped_views(script.views):
             graph, plan, heuristic, _ = self.prepare(queries[0], strategy)
         parts = ["strategy: %s" % strategy]
+        parts.append(
+            "executor: %s%s"
+            % (
+                executor,
+                " (columnar, falls back to tuple on error)"
+                if executor == "batch"
+                else "",
+            )
+        )
         if heuristic is not None:
             parts.append(
                 "emst used: %s (cost %.1f vs %.1f without)"

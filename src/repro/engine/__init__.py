@@ -1,4 +1,4 @@
-"""Execution engine: in-memory storage and QGM evaluation.
+"""Execution engine: in-memory columnar storage and QGM evaluation.
 
 Three evaluation strategies mirror the paper's Table 1 columns:
 
@@ -10,16 +10,25 @@ Three evaluation strategies mirror the paper's Table 1 columns:
   down, DB2-style; this is the *Correlated* column,
 * recursive components run by (semi-)naive fixpoint
   (:mod:`repro.engine.recursion`).
+
+The bottom-up strategies come in two executors: the classic
+tuple-at-a-time :class:`Evaluator` and the columnar
+:class:`BatchEvaluator` (:mod:`repro.engine.columnar`), which evaluates
+boxes over column batches with vectorized predicates and batch
+hash joins. The tuple engine doubles as the differential-testing oracle
+for the batch engine.
 """
 
 from repro.engine.storage import Database, Table
 from repro.engine.evaluator import Evaluator, evaluate_graph
 from repro.engine.correlated import CorrelatedEvaluator
+from repro.engine.columnar import BatchEvaluator
 
 __all__ = [
     "Database",
     "Table",
     "Evaluator",
+    "BatchEvaluator",
     "evaluate_graph",
     "CorrelatedEvaluator",
 ]

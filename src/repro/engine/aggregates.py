@@ -14,6 +14,16 @@ class _Accumulator:
     def add(self, value):
         raise NotImplementedError
 
+    def add_many(self, values):
+        """Bulk feed: semantically ``for v in values: self.add(v)``.
+
+        Subclasses override with set-oriented implementations; the batch
+        executor's columnar group-by feeds whole column slices through
+        this instead of calling ``add`` per row.
+        """
+        for value in values:
+            self.add(value)
+
     def result(self):
         raise NotImplementedError
 
@@ -24,6 +34,9 @@ class CountStar(_Accumulator):
 
     def add(self, value):
         self.count += 1
+
+    def add_many(self, values):
+        self.count += len(values)
 
     def result(self):
         return self.count
@@ -37,6 +50,9 @@ class Count(_Accumulator):
         if value is not None:
             self.count += 1
 
+    def add_many(self, values):
+        self.count += len(values) - values.count(None)
+
     def result(self):
         return self.count
 
@@ -49,6 +65,15 @@ class Sum(_Accumulator):
         if value is None:
             return
         self.total = value if self.total is None else self.total + value
+
+    def add_many(self, values):
+        # Sequential adds (not sum()) so float results stay bit-identical
+        # to the per-row path whatever the accumulation order.
+        total = self.total
+        for value in values:
+            if value is not None:
+                total = value if total is None else total + value
+        self.total = total
 
     def result(self):
         return self.total
@@ -64,6 +89,16 @@ class Avg(_Accumulator):
             return
         self.total += value
         self.count += 1
+
+    def add_many(self, values):
+        total = self.total
+        count = self.count
+        for value in values:
+            if value is not None:
+                total += value
+                count += 1
+        self.total = total
+        self.count = count
 
     def result(self):
         if self.count == 0:
@@ -81,6 +116,14 @@ class Min(_Accumulator):
         if self.value is None or value < self.value:
             self.value = value
 
+    def add_many(self, values):
+        present = [value for value in values if value is not None]
+        if not present:
+            return
+        smallest = min(present)
+        if self.value is None or smallest < self.value:
+            self.value = smallest
+
     def result(self):
         return self.value
 
@@ -94,6 +137,14 @@ class Max(_Accumulator):
             return
         if self.value is None or value > self.value:
             self.value = value
+
+    def add_many(self, values):
+        present = [value for value in values if value is not None]
+        if not present:
+            return
+        largest = max(present)
+        if self.value is None or largest > self.value:
+            self.value = largest
 
     def result(self):
         return self.value
@@ -170,20 +221,28 @@ def register_aggregate(name, factory):
     return factory
 
 
-def make_accumulator(func, star=False, distinct=False):
-    """Build an accumulator for aggregate ``func``.
+def accumulator_factory(func, star=False, distinct=False):
+    """Resolve ``func`` once; return a zero-arg accumulator builder.
 
-    ``star`` selects COUNT(*); ``distinct`` wraps with deduplication.
+    The batch executor's group-by calls the builder once per group, so
+    name resolution must not sit inside the per-group loop.
     """
     name = func.upper()
     if name == "COUNT" and star:
         if distinct:
             raise ExecutionError("COUNT(DISTINCT *) is not valid SQL")
-        return CountStar()
+        return CountStar
     factory = _FACTORIES.get(name)
     if factory is None:
         raise ExecutionError("unknown aggregate function %r" % func)
-    accumulator = factory()
     if distinct:
-        return Distinct(accumulator)
-    return accumulator
+        return lambda: Distinct(factory())
+    return factory
+
+
+def make_accumulator(func, star=False, distinct=False):
+    """Build an accumulator for aggregate ``func``.
+
+    ``star`` selects COUNT(*); ``distinct`` wraps with deduplication.
+    """
+    return accumulator_factory(func, star=star, distinct=distinct)()

@@ -1,0 +1,13 @@
+"""Columnar batch execution of QGM graphs.
+
+See :mod:`repro.engine.columnar.batch` for the executor,
+:mod:`repro.engine.columnar.columns` for the batch representation and
+:mod:`repro.engine.columnar.vector` for the vectorized expression
+compiler.
+"""
+
+from repro.engine.columnar.batch import BatchEvaluator
+from repro.engine.columnar.columns import Batch, scan_batch
+from repro.engine.columnar.vector import compile_vector
+
+__all__ = ["Batch", "BatchEvaluator", "compile_vector", "scan_batch"]

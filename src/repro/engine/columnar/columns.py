@@ -1,0 +1,112 @@
+"""Column batches: the unit of work of the batch executor.
+
+A :class:`Batch` is the columnar analogue of the tuple engine's list of
+environment dicts. Where the tuple engine carries ``[{quantifier: row},
+...]`` and copies every dict per join probe, a batch stores each bound
+quantifier's rows **once per quantifier** (``slots``) plus a shared
+``constants`` mapping for outer correlation bindings that are the same at
+every position. Individual columns are extracted lazily and cached, so a
+predicate touching two columns of a five-table join never materialises
+the other columns at all.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExecutionError
+
+
+class Batch:
+    """``length`` positions over bound quantifiers.
+
+    ``slots`` maps each bound :class:`~repro.qgm.model.Quantifier` (they
+    hash by identity) to a list of row tuples, one per position.
+    ``constants`` maps outer quantifiers to a single row broadcast to all
+    positions — the batch form of evaluating a correlated subtree under
+    one outer binding. ``column_sources`` optionally maps a quantifier to
+    a zero-copy column accessor (``fn(ordinal) -> list``); a full base
+    table scan registers the table's own column arrays here so extraction
+    is a dict lookup, not an O(n) gather.
+    """
+
+    __slots__ = ("length", "slots", "constants", "column_sources", "_columns", "_envs")
+
+    def __init__(self, length, slots=None, constants=None, column_sources=None):
+        self.length = length
+        self.slots = slots if slots is not None else {}
+        self.constants = constants if constants is not None else {}
+        self.column_sources = column_sources if column_sources is not None else {}
+        self._columns = {}
+        self._envs = None
+
+    def column(self, quantifier, ordinal):
+        """The value list of ``quantifier``'s column ``ordinal`` (cached)."""
+        key = (id(quantifier), ordinal)
+        values = self._columns.get(key)
+        if values is not None:
+            return values
+        source = self.column_sources.get(quantifier)
+        if source is not None:
+            values = source(ordinal)
+        else:
+            rows = self.slots.get(quantifier)
+            if rows is not None:
+                values = [row[ordinal] for row in rows]
+            else:
+                row = self.constants.get(quantifier)
+                if row is None:
+                    raise ExecutionError(
+                        "unbound quantifier %r in batch" % quantifier.name
+                    )
+                values = [row[ordinal]] * self.length
+        self._columns[key] = values
+        return values
+
+    def add_slot(self, quantifier, rows):
+        """Bind a new quantifier at every position (len(rows) == length)."""
+        self.slots[quantifier] = rows
+        self._envs = None
+
+    def row_envs(self):
+        """Per-position environment dicts, for scalar fallbacks.
+
+        Built once and cached; used by the batch executor wherever a
+        construct is inherently row-at-a-time (CASE branch shortcutting,
+        correlated children, E/A filter quantifiers, scalar subqueries).
+        """
+        envs = self._envs
+        if envs is None:
+            envs = [dict(self.constants) for _ in range(self.length)]
+            for quantifier, rows in self.slots.items():
+                for env, row in zip(envs, rows):
+                    env[quantifier] = row
+            self._envs = envs
+        return envs
+
+    def take(self, positions):
+        """A new batch holding only ``positions`` (a filter/selection)."""
+        slots = {
+            quantifier: [rows[p] for p in positions]
+            for quantifier, rows in self.slots.items()
+        }
+        return Batch(len(positions), slots=slots, constants=self.constants)
+
+    def expand(self, positions, quantifier, new_rows):
+        """A new batch joining ``quantifier`` in: position ``i`` of the
+        result replicates source position ``positions[i]`` and binds
+        ``new_rows[i]`` to ``quantifier`` (the output of a hash-join probe
+        or nested-loop pairing)."""
+        slots = {
+            existing: [rows[p] for p in positions]
+            for existing, rows in self.slots.items()
+        }
+        slots[quantifier] = new_rows
+        return Batch(len(positions), slots=slots, constants=self.constants)
+
+
+def scan_batch(quantifier, table):
+    """A batch scanning a whole base table, serving columns zero-copy."""
+    return Batch(
+        len(table),
+        slots={quantifier: table.rows},
+        column_sources={quantifier: table.column_data},
+    )

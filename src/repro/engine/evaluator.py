@@ -55,21 +55,45 @@ class Result:
 
 
 class EvaluatorStats:
-    """Work counters; the benchmarks report these alongside elapsed time."""
+    """Work counters; the benchmarks report these alongside elapsed time.
+
+    The ``batch_*`` counters are filled only by the columnar
+    :class:`~repro.engine.columnar.BatchEvaluator`; they appear in
+    :meth:`as_dict` (and hence in explain output) only when batch work
+    actually happened, so tuple-engine stats keep their historical shape.
+    """
 
     def __init__(self):
         self.box_evaluations = 0
         self.rows_produced = 0
         self.join_probes = 0
         self.correlated_evaluations = 0
+        #: Column batches materialised (one per pipeline step per box).
+        self.batches = 0
+        #: Total rows across those batches (mean batch width = ratio).
+        self.batch_rows = 0
+        #: Hash-probe keys looked up in batch joins.
+        self.batch_probes = 0
+        #: Rows returned by those probes (fan-out = matches / probes).
+        self.batch_probe_matches = 0
 
     def as_dict(self):
-        return {
+        out = {
             "box_evaluations": self.box_evaluations,
             "rows_produced": self.rows_produced,
             "join_probes": self.join_probes,
             "correlated_evaluations": self.correlated_evaluations,
         }
+        if self.batches:
+            out["batches"] = self.batches
+            out["batch_rows"] = self.batch_rows
+            out["rows_per_batch"] = round(self.batch_rows / self.batches, 2)
+            out["batch_probes"] = self.batch_probes
+            if self.batch_probes:
+                out["probe_fanout"] = round(
+                    self.batch_probe_matches / self.batch_probes, 2
+                )
+        return out
 
 
 class Evaluator:

@@ -8,12 +8,33 @@ predicates accept a row only when the result is ``True``.
 
 from __future__ import annotations
 
+import operator
 import re
 
 from repro.errors import ExecutionError
 from repro.qgm import expr as qe
 
 _LIKE_CACHE = {}
+
+#: Raw (not NULL-aware) binary operator callables, shared with the batch
+#: executor's vector compiler. The vectorized paths apply these inside
+#: comprehensions with explicit None guards; ``/``, ``%`` and ``||`` stay
+#: out because they carry extra semantics (zero checks, exact integer
+#: division, string coercion) and go through :func:`arithmetic` per value.
+COMPARISON_OPS = {
+    "=": operator.eq,
+    "<>": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+ARITHMETIC_OPS = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+}
 
 
 def like_match(value, pattern):

@@ -14,14 +14,28 @@ Evaluation is **semi-naive** where possible: a select box that references
 exactly one component member directly (a *linear* rule — by far the common
 case, and the only shape magic itself generates) is re-evaluated per round
 against that member's *delta* (the rows discovered in the previous round)
-instead of its full table. Non-linear boxes fall back to full re-evaluation
-— still correct, just more work.
+instead of its full table, and a union box is *delta-batched* — after the
+first round it concatenates only its member branches' deltas, since a
+union is additive and its static branches cannot contribute anything new.
+Other non-linear boxes fall back to full re-evaluation — still correct,
+just more work.
+
+Each round's output then goes through delta-batch dedup: boxes still
+carrying DISTINCT enforcement collapse their own duplicates first (their
+contract holds regardless of consumer — the duplicate-freeness proof
+relaxes exactly the boxes where this pass is redundant), then one bulk
+``dict.fromkeys`` pass and a bulk diff against the accumulated set keep
+the fixpoint's set semantics.
 """
 
 from __future__ import annotations
 
 from repro.errors import QgmError
-from repro.qgm.model import BoxKind, QuantifierType
+from repro.qgm.model import BoxKind, DistinctMode, QuantifierType
+
+
+def _dedupe(rows):
+    return list(dict.fromkeys(rows))
 
 # Retained name for backward compatibility; the governor owns the default.
 _MAX_ROUNDS = 100000
@@ -99,6 +113,28 @@ def run_fixpoint(evaluator, component, governor=None):
     linear = {
         id(box): _linear_member_quantifier(box, member_ids) for box in component
     }
+    union_children = {
+        id(box): [q.input_box for q in box.quantifiers]
+        for box in component
+        if box.kind == BoxKind.UNION
+    }
+    # The runtime payoff of the duplicate-freeness proof inside the
+    # fixpoint: a box the key analysis proves duplicate-free *without*
+    # relying on an explicit enforcement emits provably disjoint row sets
+    # each round on the additive (delta-driven) paths, so the per-round
+    # dedup and known-set filtering can be skipped for it outright.
+    # Boxes still carrying ENFORCE pay their own enforcement instead.
+    from repro.qgm.keys import is_duplicate_free
+
+    proven = {
+        id(box): box.distinct != DistinctMode.ENFORCE
+        and bool(is_duplicate_free(box, ignore_enforce=True))
+        for box in component
+    }
+    additive = {
+        id(box): linear[id(box)] is not None or id(box) in union_children
+        for box in component
+    }
 
     def clear_member_indexes():
         evaluator._index_cache = {
@@ -123,7 +159,19 @@ def run_fixpoint(evaluator, component, governor=None):
                 "fixpoint round %d, box %r" % (rounds, box.name)
             )
             quantifier = linear[id(box)]
-            if quantifier is not None and rounds > 1:
+            children = union_children.get(id(box))
+            if children is not None and rounds > 1:
+                # Delta-batch union: a union is additive in each branch,
+                # so U(A ∪ ΔA, B ∪ ΔB) = U(A, B) ∪ U(ΔA, ΔB). Static
+                # (non-member) branches contributed everything they ever
+                # will in round 1; member branches add only their
+                # previous round's delta — instead of re-emitting every
+                # accumulated row each round.
+                produced = []
+                for child in children:
+                    if id(child) in member_ids:
+                        produced.extend(delta[id(child)])
+            elif quantifier is not None and rounds > 1:
                 # Semi-naive: join against the previous round's delta only.
                 member = quantifier.input_box
                 full_rows = evaluator._materialized[id(member)]
@@ -136,16 +184,52 @@ def run_fixpoint(evaluator, component, governor=None):
                     clear_member_indexes()
             else:
                 produced = evaluator.evaluate_box(box, {})
-            current = evaluator._materialized[id(box)]
-            known = seen[id(box)]
-            for row in produced:
-                if row not in known:
-                    known.add(row)
-                    current.append(row)
-                    new_delta[id(box)].append(row)
-                    changed = True
+            # A box still carrying DISTINCT enforcement collapses its own
+            # duplicates every round: the enforcement *is* its dedup
+            # operator, and its contract holds regardless of consumer.
+            # The duplicate-freeness proof relaxes exactly the boxes
+            # where this pass is provably redundant — that removal is
+            # what the distinct_drop benchmark measures.
+            if box.distinct == DistinctMode.ENFORCE:
+                produced = _dedupe(produced)
+            if proven[id(box)] and additive[id(box)]:
+                # Disjoint by proof: the box's total output carries a key
+                # and its delta-driven rounds partition that output, so
+                # every produced row is new — no dedup, no known-set
+                # membership test, no bookkeeping.
+                fresh = produced
+            else:
+                # Delta-batch dedup: collapse the round's duplicates in
+                # one pass (dict preserves first-seen order; skipped when
+                # the rows are already unique), then diff against the
+                # accumulated rows with bulk set operations instead of a
+                # per-row membership/append loop.
+                known = seen[id(box)]
+                if box.distinct == DistinctMode.ENFORCE or proven[id(box)]:
+                    fresh = [row for row in produced if row not in known]
+                else:
+                    fresh = [
+                        row
+                        for row in dict.fromkeys(produced)
+                        if row not in known
+                    ]
+                known.update(fresh)
+            if fresh:
+                new_delta[id(box)] = fresh
+                changed = True
+        # Jacobi-style end-of-round application: deltas land in the
+        # materialized tables only after every member has evaluated, so
+        # each round reads exactly the previous round's state. That is
+        # what keeps the per-round contributions of additive boxes
+        # disjoint — the invariant the proof-driven skip above relies on.
+        for box in component:
+            fresh = new_delta[id(box)]
+            if fresh:
+                evaluator._materialized[id(box)].extend(fresh)
         delta = new_delta
         if changed:
             clear_member_indexes()
-    evaluator.stats.rows_produced += sum(len(s) for s in seen.values())
+    evaluator.stats.rows_produced += sum(
+        len(evaluator._materialized[id(box)]) for box in component
+    )
     return rounds

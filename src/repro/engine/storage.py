@@ -1,8 +1,13 @@
-"""In-memory storage: tables of tuples plus the database facade.
+"""In-memory storage: columnar tables plus the database facade.
 
-Rows are plain Python tuples laid out per the table's schema. NULL is
-``None``. The :class:`Database` owns a :class:`~repro.catalog.Catalog` and
-the row storage, and is the object users hand to the session API.
+Tables are stored **column-major**: one Python list per column, with NULL
+as ``None``. A row-major view (list of plain tuples laid out per the
+table's schema) is materialised lazily and cached, so tuple-at-a-time
+consumers — the classic evaluators, statistics, the chase — keep working
+unchanged while the batch executor reads whole columns without
+per-row reconstruction. The :class:`Database` owns a
+:class:`~repro.catalog.Catalog` and the column storage, and is the object
+users hand to the session API.
 """
 
 from __future__ import annotations
@@ -13,7 +18,13 @@ from repro.errors import CatalogError, ExecutionError
 
 
 class Table:
-    """A stored base table: schema + rows + lazily built hash indexes.
+    """A stored base table: schema + columnar data + lazy hash indexes.
+
+    Data lives in ``_columns`` (one list per schema column); ``rows`` is a
+    cached row-tuple view rebuilt on demand after mutations. Because the
+    view is replaced (never mutated in place), an evaluator holding the
+    ``rows`` list of a table sees a stable snapshot even if a mutation
+    lands mid-query.
 
     ``version`` is a monotonic data-version counter, bumped by every
     mutation through :meth:`invalidate_indexes`. Plan artifacts computed
@@ -25,30 +36,100 @@ class Table:
 
     def __init__(self, schema, rows=None):
         self.schema = schema
-        self.rows = list(rows or [])
+        self._ncols = len(schema.columns)
+        self._columns = [[] for _ in range(self._ncols)]
+        self._nrows = 0
+        self._rows = []
         self.version = 0
         self._indexes = {}
+        if rows:
+            self._append_rows(self._converted_rows(rows))
+
+    # -- row/column representations ------------------------------------------
+
+    def _converted_rows(self, rows):
+        """Convert ``rows`` to tuples, checking arity in the same pass.
+
+        The whole input is validated before anything is stored, so a
+        bad-arity row anywhere in the input leaves the table unmodified.
+        """
+        ncols = self._ncols
+        converted = []
+        for row in rows:
+            row = tuple(row)
+            if len(row) != ncols:
+                raise ExecutionError(
+                    "row arity %d does not match table %r (%d columns)"
+                    % (len(row), self.schema.name, ncols)
+                )
+            converted.append(row)
+        return converted
+
+    def _append_rows(self, converted):
+        """Append pre-validated row tuples to the column arrays."""
+        if not converted:
+            return
+        for ordinal, column in enumerate(self._columns):
+            column.extend(row[ordinal] for row in converted)
+        self._nrows += len(converted)
+        self._rows = None  # row view rebuilt on next access
+
+    @property
+    def rows(self):
+        """Row-major view: a list of plain tuples (cached)."""
+        rows = self._rows
+        if rows is None:
+            rows = list(zip(*self._columns)) if self._nrows else []
+            self._rows = rows
+        return rows
+
+    @rows.setter
+    def rows(self, new_rows):
+        """Replace the table's contents (DELETE/UPDATE rebuild via this).
+
+        Callers still must bump the version through
+        :meth:`invalidate_indexes`, exactly as with the old list storage.
+        """
+        converted = self._converted_rows(new_rows)
+        if converted:
+            self._columns = [list(column) for column in zip(*converted)]
+        else:
+            self._columns = [[] for _ in range(self._ncols)]
+        self._nrows = len(converted)
+        self._rows = converted
+
+    def column_data(self, column):
+        """The stored value list of one column (by name or ordinal).
+
+        This is the batch executor's scan path: the returned list is the
+        live column array — callers must treat it as read-only.
+        """
+        if isinstance(column, int):
+            ordinal = column
+        else:
+            ordinal = self.schema.column_ordinal(column)
+        return self._columns[ordinal]
+
+    # -- mutation ---------------------------------------------------------------
 
     def insert(self, row):
-        if len(row) != len(self.schema.columns):
+        row = tuple(row)
+        if len(row) != self._ncols:
             raise ExecutionError(
                 "row arity %d does not match table %r (%d columns)"
-                % (len(row), self.schema.name, len(self.schema.columns))
+                % (len(row), self.schema.name, self._ncols)
             )
-        self.rows.append(tuple(row))
+        for ordinal, column in enumerate(self._columns):
+            column.append(row[ordinal])
+        self._nrows += 1
+        self._rows = None
         self.invalidate_indexes()
 
     def insert_many(self, rows):
-        rows = [tuple(row) for row in rows]
-        for row in rows:
-            if len(row) != len(self.schema.columns):
-                raise ExecutionError(
-                    "row arity %d does not match table %r (%d columns)"
-                    % (len(row), self.schema.name, len(self.schema.columns))
-                )
-        if not rows:
+        converted = self._converted_rows(rows)
+        if not converted:
             return
-        self.rows.extend(rows)
+        self._append_rows(converted)
         # One statement, one version bump — per-row bumps would make the
         # version useless as a "how much changed" signal.
         self.invalidate_indexes()
@@ -56,7 +137,7 @@ class Table:
     def invalidate_indexes(self):
         """Drop the lazily built hash indexes and bump the monotonic data
         version; the next ``index_on`` call rebuilds them. Callers that
-        mutate ``rows`` directly (DELETE and UPDATE do) must call this
+        assign ``rows`` directly (DELETE and UPDATE do) must call this
         instead of touching ``_indexes``."""
         self.version += 1
         self._indexes.clear()
@@ -86,7 +167,7 @@ class Table:
         return index
 
     def __len__(self):
-        return len(self.rows)
+        return self._nrows
 
 
 class Database:
@@ -106,7 +187,12 @@ class Database:
     def table_versions(self, names=None):
         """``{table name (lower) -> data version}`` for ``names`` (all
         stored tables when omitted); the plan cache records these to make
-        statistics staleness detectable."""
+        statistics staleness detectable.
+
+        An unknown name raises :class:`~repro.errors.CatalogError`, the
+        same contract as :meth:`table` — silently skipping it would make a
+        staleness probe over a mistyped name report "nothing stale".
+        """
         if names is None:
             return {
                 name: table.version for name, table in self._tables.items()
@@ -114,8 +200,9 @@ class Database:
         out = {}
         for name in names:
             table = self._tables.get(name.lower())
-            if table is not None:
-                out[name.lower()] = table.version
+            if table is None:
+                raise CatalogError("no stored table %r" % name)
+            out[name.lower()] = table.version
         return out
 
     def create_table(self, name, columns, primary_key=None, unique_keys=None,

@@ -63,10 +63,19 @@ class FallbackReport:
     attempts: List[Tuple[str, str]] = field(default_factory=list)
     #: rule name -> {"reason": ..., "phase": ...} for quarantined rules.
     quarantined: Dict[str, dict] = field(default_factory=dict)
+    #: Execution engine requested / actually used ("tuple" or "batch"):
+    #: a batch-executor error retries the same strategy on the tuple
+    #: engine before the strategy chain degrades.
+    requested_executor: str = "tuple"
+    executed_executor: str = "tuple"
 
     @property
     def degraded(self):
-        return self.executed != self.requested or bool(self.quarantined)
+        return (
+            self.executed != self.requested
+            or self.executed_executor != self.requested_executor
+            or bool(self.quarantined)
+        )
 
     @property
     def fallback_strategy(self):
@@ -87,6 +96,11 @@ class FallbackReport:
         parts = ["requested=%s executed=%s" % (self.requested, self.executed)]
         if self.fallback_strategy != self.requested:
             parts.append("degraded to %s" % self.fallback_strategy)
+        if self.executed_executor != self.requested_executor:
+            parts.append(
+                "executor degraded %s -> %s"
+                % (self.requested_executor, self.executed_executor)
+            )
         for strategy, error in self.attempts:
             parts.append("%s failed: %s" % (strategy, error))
         for name, info in sorted(self.quarantined.items()):

@@ -132,7 +132,8 @@ class SyncQueryClient:
 
     # -- convenience ops ---------------------------------------------------------
 
-    def query(self, sql, params=None, strategy=None, deadline=None):
+    def query(self, sql, params=None, strategy=None, deadline=None,
+              executor=None):
         message = {"op": "query", "sql": sql}
         if params is not None:
             message["params"] = list(params)
@@ -140,12 +141,16 @@ class SyncQueryClient:
             message["strategy"] = strategy
         if deadline is not None:
             message["deadline"] = deadline
+        if executor is not None:
+            message["executor"] = executor
         return self.request(message)
 
-    def prepare(self, sql, strategy=None):
+    def prepare(self, sql, strategy=None, executor=None):
         message = {"op": "prepare", "sql": sql}
         if strategy is not None:
             message["strategy"] = strategy
+        if executor is not None:
+            message["executor"] = executor
         return self.request(message)
 
     def execute(self, statement, params=None, deadline=None):
@@ -231,7 +236,8 @@ class QueryClient:
                     )
                 )
 
-    async def query(self, sql, params=None, strategy=None, deadline=None):
+    async def query(self, sql, params=None, strategy=None, deadline=None,
+                    executor=None):
         message = {"op": "query", "sql": sql}
         if params is not None:
             message["params"] = list(params)
@@ -239,6 +245,8 @@ class QueryClient:
             message["strategy"] = strategy
         if deadline is not None:
             message["deadline"] = deadline
+        if executor is not None:
+            message["executor"] = executor
         return await self.request(message)
 
     async def script(self, sql):

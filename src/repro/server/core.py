@@ -32,8 +32,8 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.api import Connection, STRATEGIES
-from repro.engine import CorrelatedEvaluator, Evaluator
+from repro.api import Connection, EXECUTORS, STRATEGIES
+from repro.engine import BatchEvaluator, CorrelatedEvaluator, Evaluator
 from repro.errors import (
     ExecutionError,
     QueryCancelledError,
@@ -72,6 +72,10 @@ class ServerConfig:
     max_deadline_seconds: float = 60.0
     cache_capacity: int = 128
     default_strategy: str = "emst"
+    #: Execution engine for requests that don't name one: "tuple" is the
+    #: classic row-at-a-time evaluator, "batch" the columnar executor
+    #: (which retries on the tuple engine if it fails).
+    default_executor: str = "tuple"
     breaker_failure_threshold: int = 3
     breaker_cooldown_seconds: float = 5.0
     #: Per-query row budget (None = unlimited) forwarded to the governor.
@@ -133,6 +137,7 @@ class PreparedHandle:
     #: Values auto-extracted from literals; explicit ``?`` bindings from
     #: the client are prepended at execute time.
     extracted_values: list = field(default_factory=list)
+    executor: str = "tuple"
 
 
 def _script_fingerprint(views, query):
@@ -178,11 +183,12 @@ class QueryServer:
         self.cancellations = 0
         self.deadline_trips = 0
         self.fallbacks = 0
+        self.executor_fallbacks = 0
 
     # -- request entry points (called on executor threads) -----------------------
 
     def handle_query(self, sql, params=None, strategy=None, deadline=None,
-                     cancel_event=None):
+                     cancel_event=None, executor=None):
         """One-shot: parse, cache-or-prepare, bind, execute."""
         script = parse_script(sql)
         from repro.sql.ast import CreateView, Query
@@ -198,12 +204,12 @@ class QueryServer:
             raise ReproError(
                 "expected exactly one query, got %d" % len(script.queries)
             )
-        handle = self._make_handle(sql, script, strategy)
+        handle = self._make_handle(sql, script, strategy, executor)
         return self.handle_execute(
             handle, params, deadline=deadline, cancel_event=cancel_event
         )
 
-    def handle_prepare(self, sql, strategy=None):
+    def handle_prepare(self, sql, strategy=None, executor=None):
         """Parse + parameterize once; returns a :class:`PreparedHandle`
         plus its wire description. Plans land in the shared cache on first
         execute."""
@@ -216,11 +222,12 @@ class QueryServer:
             raise ReproError(
                 "prepare accepts exactly one SELECT (plus inline views)"
             )
-        handle = self._make_handle(sql, script, strategy)
+        handle = self._make_handle(sql, script, strategy, executor)
         explicit = handle.param_count - len(handle.extracted_values)
         return handle, {
             "fingerprint": handle.fingerprint,
             "strategy": handle.strategy,
+            "executor": handle.executor,
             "param_count": max(explicit, 0),
         }
 
@@ -284,6 +291,7 @@ class QueryServer:
                 "cancellations": self.cancellations,
                 "deadline_trips": self.deadline_trips,
                 "fallbacks": self.fallbacks,
+                "executor_fallbacks": self.executor_fallbacks,
             }
         return {
             "counters": counters,
@@ -299,12 +307,18 @@ class QueryServer:
 
     # -- internals ---------------------------------------------------------------
 
-    def _make_handle(self, sql, script, strategy):
+    def _make_handle(self, sql, script, strategy, executor=None):
         strategy = strategy or self.config.default_strategy
         if strategy not in STRATEGIES:
             raise ReproError(
                 "unknown strategy %r (expected one of %s)"
                 % (strategy, ", ".join(STRATEGIES))
+            )
+        executor = executor or self.config.default_executor
+        if executor not in EXECUTORS:
+            raise ReproError(
+                "unknown executor %r (expected one of %s)"
+                % (executor, ", ".join(EXECUTORS))
             )
         query = script.queries[0]
         extracted = parameterize_query(query)
@@ -316,6 +330,7 @@ class QueryServer:
             strategy=strategy,
             param_count=parameter_slots(query),
             extracted_values=extracted,
+            executor=executor,
         )
 
     def _make_governor(self, deadline, cancel_event):
@@ -396,18 +411,40 @@ class QueryServer:
         else:
             graph = entry.graph
         join_orders = entry.plan.join_orders if entry.plan is not None else None
+        executor = handle.executor
         if strategy == "correlated":
             evaluator = CorrelatedEvaluator(
                 graph, self.database, join_orders=join_orders,
                 governor=governor,
             )
+            result = evaluator.run()
         else:
-            evaluator = Evaluator(
+            evaluator_class = BatchEvaluator if executor == "batch" else Evaluator
+            evaluator = evaluator_class(
                 graph, self.database, join_orders=join_orders,
                 memoize_correlated=(strategy == "emst"),
                 governor=governor,
             )
-        result = evaluator.run()
+            try:
+                result = evaluator.run()
+            except (ResourceExhaustedError, QueryCancelledError):
+                # Budget/cancel trips would recur on the (slower) tuple
+                # engine: propagate, don't retry.
+                raise
+            except Exception:
+                if executor != "batch":
+                    raise
+                # Any batch-executor failure retries on the tuple oracle
+                # before the strategy-level breaker chain gets involved.
+                with self._stats_lock:
+                    self.executor_fallbacks += 1
+                executor = "tuple"
+                evaluator = Evaluator(
+                    graph, self.database, join_orders=join_orders,
+                    memoize_correlated=(strategy == "emst"),
+                    governor=governor,
+                )
+                result = evaluator.run()
         return {
             "columns": list(result.columns),
             "rows": [list(row) for row in result.rows],
@@ -415,6 +452,7 @@ class QueryServer:
             "cache": "hit" if cache_hit else "miss",
             "fingerprint": entry.fingerprint,
             "adornment": entry.adornment,
+            "executor": executor,
             "stale_tables": entry.staleness(self.database.table_versions()),
         }
 

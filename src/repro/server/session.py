@@ -115,13 +115,16 @@ class Session:
                         request["sql"],
                         params=request.get("params"),
                         strategy=request.get("strategy"),
+                        executor=request.get("executor"),
                         deadline=request.get("deadline"),
                         cancel_event=cancel,
                     ),
                 )
             elif op == "prepare":
                 handle, description = self.server.handle_prepare(
-                    request["sql"], strategy=request.get("strategy")
+                    request["sql"],
+                    strategy=request.get("strategy"),
+                    executor=request.get("executor"),
                 )
                 statement_id = self._next_statement
                 self._next_statement += 1

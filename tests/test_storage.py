@@ -73,3 +73,61 @@ def test_analyze_all_tables():
     db.insert("s", [(3,)])
     db.analyze()
     assert db.catalog.statistics("s").row_count == 3
+
+
+def test_insert_many_bad_arity_mid_input_leaves_table_unmodified():
+    table = make_table()
+    before_rows = list(table.rows)
+    before_version = table.version
+    with pytest.raises(ExecutionError):
+        table.insert_many([(4, "w"), (5, "v", "extra"), (6, "u")])
+    assert table.rows == before_rows
+    assert len(table) == len(before_rows)
+    assert table.version == before_version
+    # Column storage stayed consistent too.
+    assert table.column_data("a") == [1, 2, 3]
+
+
+def test_insert_many_single_bump_and_empty_noop():
+    table = make_table()
+    version = table.version
+    table.insert_many([(4, "w"), (5, "v")])
+    assert table.version == version + 1  # one statement, one bump
+    table.insert_many([])
+    assert table.version == version + 1  # empty insert is a no-op
+
+
+def test_columnar_layout_round_trip():
+    table = make_table()
+    assert table.column_data("a") == [1, 2, 3]
+    assert table.column_data(1) == ["x", "y", "x"]
+    table.insert((4, None))
+    assert table.column_data("b") == ["x", "y", "x", None]
+    assert table.rows == [(1, "x"), (2, "y"), (3, "x"), (4, None)]
+    # Replacing rows wholesale (the DELETE/UPDATE path) rebuilds columns.
+    table.rows = [(7, "z")]
+    assert table.column_data("a") == [7]
+    table.rows = []
+    assert table.column_data("a") == []
+    assert table.rows == []
+
+
+def test_rows_view_is_stable_snapshot_across_mutation():
+    table = make_table()
+    snapshot = table.rows
+    table.insert((4, "w"))
+    assert snapshot == [(1, "x"), (2, "y"), (3, "x")]
+    assert table.rows == snapshot + [(4, "w")]
+
+
+def test_table_versions_unknown_name_raises():
+    db = Database()
+    db.create_table("t", ["a"], rows=[(1,)])
+    assert db.table_versions(["t"]) == {"t": 0}
+    with pytest.raises(CatalogError):
+        db.table_versions(["t", "missing"])
+
+
+def test_initial_rows_leave_version_zero():
+    table = make_table()
+    assert table.version == 0
