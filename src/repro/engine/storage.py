@@ -110,6 +110,36 @@ class Table:
             ordinal = self.schema.column_ordinal(column)
         return self._columns[ordinal]
 
+    def column_blocks(self):
+        """The live column arrays (one list per schema column), for bulk
+        serialization — the worker-pool publisher pickles these into
+        shared memory. Read-only by contract, like :meth:`column_data`."""
+        return self._columns
+
+    def load_columns(self, columns, version):
+        """Atomically replace the table's contents with pre-built column
+        blocks at a given data version — the worker-side half of the
+        shared-memory sync protocol. The blocks must all have equal
+        length and match the schema's arity; the version is adopted
+        as-is so the worker's copy reports the same
+        :attr:`version` the publisher recorded."""
+        if len(columns) != self._ncols:
+            raise ExecutionError(
+                "column-block arity %d does not match table %r (%d columns)"
+                % (len(columns), self.schema.name, self._ncols)
+            )
+        lengths = {len(column) for column in columns}
+        if len(lengths) > 1:
+            raise ExecutionError(
+                "ragged column blocks for table %r: lengths %s"
+                % (self.schema.name, sorted(lengths))
+            )
+        self._columns = [list(column) for column in columns]
+        self._nrows = lengths.pop() if lengths else 0
+        self._rows = None
+        self._indexes.clear()
+        self.version = version
+
     # -- mutation ---------------------------------------------------------------
 
     def insert(self, row):
@@ -255,6 +285,22 @@ class Database:
         table = self._tables.get(name.lower())
         if table is None:
             raise CatalogError("no stored table %r" % name)
+        return table
+
+    def stored_tables(self):
+        """``{name (lower) -> Table}`` for every stored table. The worker
+        pool's publisher iterates this to find tables whose data version
+        moved; callers must not mutate the mapping."""
+        return self._tables
+
+    def register_table(self, schema):
+        """Attach an empty :class:`Table` for a schema that is *already*
+        in the catalog — the worker-side path for tables created by the
+        parent after fork (the schema arrives via the catalog sync, the
+        rows via a column-block segment). Replaces any existing storage
+        for the name."""
+        table = Table(schema)
+        self._tables[schema.name.lower()] = table
         return table
 
     def insert(self, name, rows):

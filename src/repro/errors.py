@@ -155,5 +155,26 @@ class ServerOverloadedError(ResourceExhaustedError):
         self.active = active
 
 
+class WorkerCrashedError(ExecutionError):
+    """Raised by the worker pool when the process executing a query died
+    before replying (SIGKILL, OOM, hard crash).
+
+    The crash consumed the in-flight request but left no partial state
+    behind: result-cache entries are stored only after a complete reply,
+    and the crashed worker's private plan cache died with it. The pool
+    respawns a replacement before this error reaches the client, so a
+    retry lands on a healthy worker — always retryable.
+    """
+
+    retryable = True
+
+    def __init__(self, message, pid=None, retry_after=None, context=None):
+        merged = {"pid": pid, "retry_after": retry_after}
+        merged.update(context or {})
+        super().__init__(message, context=merged)
+        self.pid = pid
+        self.retry_after = retry_after
+
+
 class NotSupportedError(ReproError):
     """Raised for SQL constructs outside the supported subset."""

@@ -27,6 +27,7 @@ from repro.resilience.faults import FaultPlan, InjectedFault
 from repro.resilience.breaker import (
     DEFAULT_STRATEGY_CHAIN,
     CircuitBreaker,
+    GuardedCircuitBreaker,
     StrategyBreakerBoard,
 )
 from repro.resilience.retry import RetryPolicy
@@ -39,6 +40,7 @@ __all__ = [
     "FaultPlan",
     "InjectedFault",
     "CircuitBreaker",
+    "GuardedCircuitBreaker",
     "StrategyBreakerBoard",
     "DEFAULT_STRATEGY_CHAIN",
     "RetryPolicy",

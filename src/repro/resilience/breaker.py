@@ -95,6 +95,44 @@ class CircuitBreaker:
         }
 
 
+class GuardedCircuitBreaker:
+    """A :class:`CircuitBreaker` behind its own lock, for standalone use
+    outside the :class:`StrategyBreakerBoard` (which supplies its own
+    locking). The server's worker pool uses one as its *crash breaker*:
+    worker deaths recorded from many dispatch threads open the circuit,
+    demoting query execution to the in-process path until the cooldown
+    lets a trial dispatch through."""
+
+    def __init__(self, failure_threshold=3, cooldown_seconds=30.0, clock=None):
+        self._lock = threading.Lock()
+        self._breaker = CircuitBreaker(
+            failure_threshold=failure_threshold,
+            cooldown_seconds=cooldown_seconds,
+            clock=clock,
+        )
+
+    def allows(self):
+        with self._lock:
+            return self._breaker.allows()
+
+    def record_success(self):
+        with self._lock:
+            self._breaker.record_success()
+
+    def record_failure(self, error=None):
+        with self._lock:
+            self._breaker.record_failure(error)
+
+    @property
+    def state(self):
+        with self._lock:
+            return self._breaker.state
+
+    def snapshot(self):
+        with self._lock:
+            return self._breaker.snapshot()
+
+
 class StrategyBreakerBoard:
     """One breaker per rewrite strategy plus the demotion policy.
 

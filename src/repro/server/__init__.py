@@ -17,7 +17,13 @@ server speaking a length-prefixed JSON protocol, with
   ``emst -> phase1 -> original``
   (:class:`~repro.resilience.StrategyBreakerBoard`),
 * a retrying client (:mod:`repro.server.client`) and a session-boundary
-  chaos harness (``python -m repro.server.chaos``).
+  chaos harness (``python -m repro.server.chaos``),
+* a fork-based worker pool executing queries in separate processes over
+  shared-memory column blocks, with crash respawn and a crash breaker
+  (:mod:`repro.server.workers`, ``ServerConfig(workers=N)``),
+* a cross-request result cache keyed on ``(fingerprint, strategy,
+  executor, catalog version, bindings, table versions)`` so a cached
+  result can never be stale (:mod:`repro.server.result_cache`).
 
 Run ``python -m repro.server --workload`` for a demo server.
 """
@@ -26,7 +32,9 @@ from repro.server.admission import AdmissionController
 from repro.server.client import QueryClient, SyncQueryClient
 from repro.server.core import QueryServer, ServerConfig
 from repro.server.plan_cache import AdornmentPlanCache, CachedPlan
+from repro.server.result_cache import ResultCache
 from repro.server.session import serve
+from repro.server.workers import WorkerPool, fork_available
 
 __all__ = [
     "AdmissionController",
@@ -34,7 +42,10 @@ __all__ = [
     "CachedPlan",
     "QueryClient",
     "QueryServer",
+    "ResultCache",
     "ServerConfig",
     "SyncQueryClient",
+    "WorkerPool",
+    "fork_available",
     "serve",
 ]

@@ -48,6 +48,19 @@ def build_parser():
                         help="default per-query deadline in seconds")
     parser.add_argument("--cache-capacity", type=int, default=128)
     parser.add_argument("--strategy", default="emst")
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="forked query-worker processes (0 = in-process execution)",
+    )
+    parser.add_argument(
+        "--result-cache-capacity", type=int, default=0,
+        help="cross-request result cache entries (0 = disabled)",
+    )
+    parser.add_argument(
+        "--statement-cache", default=None, metavar="PATH",
+        help="persist the prepared-statement set here on shutdown and "
+             "warm the plan cache from it on boot",
+    )
     return parser
 
 
@@ -74,6 +87,9 @@ def build_server(options):
         default_deadline_seconds=options.deadline,
         cache_capacity=options.cache_capacity,
         default_strategy=options.strategy,
+        workers=options.workers,
+        result_cache_capacity=options.result_cache_capacity,
+        statement_cache_path=options.statement_cache,
     )
     return QueryServer(database, config)
 

@@ -16,7 +16,13 @@ faults *inside* the rewrite/execute pipeline; this one attacks the
 * **deadline storm + overload** — a thundering herd with tiny deadlines
   against a tiny pool: every outcome must classify as success, deadline
   trip, cancellation, or shed-with-``retry_after``; retried requests must
-  eventually succeed.
+  eventually succeed,
+* **worker crashes** (``--battery workers``) — SIGKILL the worker process
+  mid-query and mid-fixpoint: the client must see a clean *retryable*
+  ``WorkerCrashedError`` (or a correct answer, if the reply won the
+  race), the pool must respawn to full strength, a retried request must
+  succeed, and no partially-built result-cache entry may survive the
+  crash.
 
 The invariant throughout is the same as the in-pipeline harness:
 **correct answer or clean error — never a wrong answer**. Run as
@@ -28,7 +34,9 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import os
 import random
+import signal
 import socket
 import struct
 import threading
@@ -50,6 +58,7 @@ CLEAN_ERRORS = frozenset({
     "QueryCancelledError",
     "ExecutionError",
     "ProtocolError",
+    "WorkerCrashedError",
 })
 
 
@@ -359,7 +368,170 @@ def check_deadline_storm(harness, rng, clients, requests, report):
     report["storm_retry_ok"] = True
 
 
+SLOW_COUNT_QUERY = (
+    "SELECT COUNT(*) FROM employee e1, employee e2, employee e3 "
+    "WHERE e1.salary > 0 AND e2.salary > 0 AND e3.salary > 0"
+)
+
+
+def _fixpoint_victim(bound):
+    """A transitive-closure victim whose literal ``bound`` lands in the
+    result-cache bindings, so every round's key is distinct and cached
+    results from earlier rounds cannot short-circuit the dispatch."""
+    return (
+        "WITH RECURSIVE path (src, dst) AS ("
+        "  SELECT e.src, e.dst FROM edge e"
+        "  UNION"
+        "  SELECT p.src, e.dst FROM path p, edge e WHERE e.src = p.dst"
+        ") SELECT COUNT(*) FROM path p WHERE p.src < %d" % bound
+    )
+
+
+def check_worker_crashes(harness, rng, rounds, report):
+    """SIGKILL the worker executing a query (alternating a long scan and
+    a long fixpoint): the client's outcome must be a retryable
+    ``WorkerCrashedError`` or a correct reply, the pool must return to
+    full strength, and the result cache must hold nothing from a crashed
+    execution."""
+    from repro.resilience.retry import RetryPolicy
+
+    server = harness.server
+    pool = server.pool
+    assert pool is not None, "worker battery needs ServerConfig(workers>0)"
+    workers = server.config.workers
+    with harness.client() as client:
+        client.script("CREATE TABLE edge (src, dst)")
+        edges = ["(%d, %d)" % (i, i + 1) for i in range(120)]
+        edges.append("(120, 0)")  # cycle: the fixpoint revisits facts
+        client.script("INSERT INTO edge VALUES %s" % ", ".join(edges))
+        expected = _canon(
+            client.query(PARAM_QUERY, params=["Planning"], fresh=True)["rows"]
+        )
+    crashed = won_race = 0
+    for round_index in range(rounds):
+        mid_fixpoint = round_index % 2 == 1
+        victim_sql = (
+            _fixpoint_victim(10000 + round_index)
+            if mid_fixpoint
+            else SLOW_COUNT_QUERY
+        )
+        entries_before = len(server.result_cache)
+        outcome = {}
+
+        def run_victim():
+            try:
+                with harness.client(
+                    retry=RetryPolicy(max_attempts=1)
+                ) as victim:
+                    outcome["response"] = victim.query(
+                        victim_sql, deadline=60
+                    )
+            except (ServerError, ConnectionError, OSError) as exc:
+                outcome["error"] = exc
+
+        thread = threading.Thread(target=run_victim, daemon=True)
+        thread.start()
+        kill_deadline = time.monotonic() + 15
+        busy = []
+        while time.monotonic() < kill_deadline:
+            busy = pool.busy_pids()
+            if busy:
+                break
+            time.sleep(0.005)
+        assert busy, "victim query never reached a worker"
+        if mid_fixpoint:
+            # Let the fixpoint get a few delta rounds in before the kill.
+            time.sleep(rng.uniform(0.01, 0.1))
+        os.kill(busy[0], signal.SIGKILL)
+        thread.join(timeout=90)
+        assert not thread.is_alive(), "victim session wedged after SIGKILL"
+        error = outcome.get("error")
+        if error is None:
+            won_race += 1  # reply beat the kill; a correct answer is fine
+        else:
+            assert isinstance(error, ServerError), (
+                "crash surfaced as transport failure, not a structured "
+                "error: %r" % error
+            )
+            assert error.error_type == "WorkerCrashedError", (
+                "dirty crash error: %s" % error
+            )
+            assert error.retryable, "WorkerCrashedError must be retryable"
+            crashed += 1
+            # The killed execution must not have stored anything: a
+            # result-cache entry exists only after a complete reply.
+            assert len(server.result_cache) == entries_before, (
+                "partial result-cache entry survived a worker crash"
+            )
+        # The pool must recover to full strength with live processes.
+        recover_deadline = time.monotonic() + 15
+        while time.monotonic() < recover_deadline:
+            pids = pool.pids()
+            if len(pids) == workers and all(
+                _pid_alive(pid) for pid in pids
+            ):
+                break
+            time.sleep(0.02)
+        pids = pool.pids()
+        assert len(pids) == workers, "pool did not respawn to full strength"
+    assert crashed, "worker battery never observed a crash (kills too late?)"
+    # A retried request after the carnage must succeed with correct rows —
+    # on the pool, not just the in-process fallback.
+    with harness.client() as client:
+        result = client.query(PARAM_QUERY, params=["Planning"], fresh=True)
+        assert _canon(result["rows"]) == expected, "wrong rows after crashes"
+        oracle = client.query(
+            PARAM_QUERY, params=["Planning"], strategy="original", fresh=True
+        )
+        assert _canon(oracle["rows"]) == expected
+    stats = pool.stats()
+    assert stats["respawns"] >= crashed, "crashes without respawns"
+    report["worker_crashes"] = crashed
+    report["worker_won_race"] = won_race
+    report["worker_respawns"] = stats["respawns"]
+    report["worker_breaker_state"] = stats["breaker"]["state"]
+
+
+def _pid_alive(pid):
+    try:
+        os.kill(pid, 0)
+    except (ProcessLookupError, PermissionError):
+        return False
+    return True
+
+
 # -- driver ----------------------------------------------------------------------
+
+
+def run_worker_chaos(seed=1234, scale=0.2, crash_rounds=4, verbose=True):
+    """The worker-crash battery against a multi-process server with the
+    result cache enabled; returns the report dict."""
+    rng = random.Random(seed)
+    database = _build_database(scale)
+    config = ServerConfig(
+        port=0,
+        max_concurrent=4,
+        max_queue=8,
+        default_deadline_seconds=30.0,
+        workers=2,
+        result_cache_capacity=64,
+        # Keep the crash breaker from opening mid-battery: the point is
+        # to exercise respawn + retry, not the degraded path.
+        worker_crash_threshold=1000,
+    )
+    report = {"seed": seed}
+    with ServerHarness(database, config) as harness:
+        if harness.server.pool is None:
+            report["skipped"] = "fork start method unavailable"
+            return report
+        check_worker_crashes(harness, rng, crash_rounds, report)
+        report["final_workers"] = harness.server.handle_stats()["workers"]
+    if verbose:
+        for key, value in report.items():
+            if key != "final_workers":
+                print("%s: %r" % (key, value))
+        print("workers: %r" % report.get("final_workers"))
+    return report
 
 
 def run_session_chaos(seed=1234, scale=0.2, poison_rounds=15,
@@ -405,15 +577,28 @@ def main(argv=None):
     parser.add_argument("--poison-rounds", type=int, default=15)
     parser.add_argument("--storm-clients", type=int, default=12)
     parser.add_argument("--storm-requests", type=int, default=4)
-    options = parser.parse_args(argv)
-    run_session_chaos(
-        seed=options.seed,
-        scale=options.scale,
-        poison_rounds=options.poison_rounds,
-        storm_clients=options.storm_clients,
-        storm_requests=options.storm_requests,
+    parser.add_argument("--crash-rounds", type=int, default=4)
+    parser.add_argument(
+        "--battery", choices=("session", "workers", "all"), default="session",
+        help="which batteries to run (workers = SIGKILL the worker pool)",
     )
-    print("session chaos: all batteries passed")
+    options = parser.parse_args(argv)
+    if options.battery in ("session", "all"):
+        run_session_chaos(
+            seed=options.seed,
+            scale=options.scale,
+            poison_rounds=options.poison_rounds,
+            storm_clients=options.storm_clients,
+            storm_requests=options.storm_requests,
+        )
+        print("session chaos: all batteries passed")
+    if options.battery in ("workers", "all"):
+        run_worker_chaos(
+            seed=options.seed,
+            scale=options.scale,
+            crash_rounds=options.crash_rounds,
+        )
+        print("worker chaos: all batteries passed")
 
 
 if __name__ == "__main__":

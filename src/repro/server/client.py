@@ -133,7 +133,7 @@ class SyncQueryClient:
     # -- convenience ops ---------------------------------------------------------
 
     def query(self, sql, params=None, strategy=None, deadline=None,
-              executor=None):
+              executor=None, fresh=False):
         message = {"op": "query", "sql": sql}
         if params is not None:
             message["params"] = list(params)
@@ -143,6 +143,10 @@ class SyncQueryClient:
             message["deadline"] = deadline
         if executor is not None:
             message["executor"] = executor
+        if fresh:
+            # Bypass the server's cross-request result cache: the reply
+            # must come from a real execution (oracle/chaos comparisons).
+            message["fresh"] = True
         return self.request(message)
 
     def prepare(self, sql, strategy=None, executor=None):
@@ -153,12 +157,14 @@ class SyncQueryClient:
             message["executor"] = executor
         return self.request(message)
 
-    def execute(self, statement, params=None, deadline=None):
+    def execute(self, statement, params=None, deadline=None, fresh=False):
         message = {"op": "execute", "statement": statement}
         if params is not None:
             message["params"] = list(params)
         if deadline is not None:
             message["deadline"] = deadline
+        if fresh:
+            message["fresh"] = True
         return self.request(message)
 
     def script(self, sql):
@@ -237,7 +243,7 @@ class QueryClient:
                 )
 
     async def query(self, sql, params=None, strategy=None, deadline=None,
-                    executor=None):
+                    executor=None, fresh=False):
         message = {"op": "query", "sql": sql}
         if params is not None:
             message["params"] = list(params)
@@ -247,6 +253,8 @@ class QueryClient:
             message["deadline"] = deadline
         if executor is not None:
             message["executor"] = executor
+        if fresh:
+            message["fresh"] = True
         return await self.request(message)
 
     async def script(self, sql):

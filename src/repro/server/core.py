@@ -26,6 +26,8 @@ from __future__ import annotations
 
 import contextlib
 import hashlib
+import json
+import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -39,6 +41,7 @@ from repro.errors import (
     QueryCancelledError,
     ReproError,
     ResourceExhaustedError,
+    WorkerCrashedError,
 )
 from repro.qgm import validate_graph
 from repro.qgm.clone import clone_graph
@@ -56,6 +59,7 @@ from repro.server.plan_cache import (
     CachedPlan,
     statement_adornment,
 )
+from repro.server.result_cache import ResultCache
 
 
 @dataclass
@@ -80,6 +84,24 @@ class ServerConfig:
     breaker_cooldown_seconds: float = 5.0
     #: Per-query row budget (None = unlimited) forwarded to the governor.
     max_materialized_rows: Optional[int] = None
+    #: Forked worker processes executing queries (0 = everything runs
+    #: in-process on the thread pool, the pre-multiprocess behaviour).
+    workers: int = 0
+    #: Consecutive worker crashes before the crash breaker opens and
+    #: execution demotes to the in-process path for the cooldown.
+    worker_crash_threshold: int = 3
+    worker_cooldown_seconds: float = 5.0
+    #: Cross-request result cache: entries keyed on ``(fingerprint,
+    #: strategy, executor, catalog version, bindings, table versions)``.
+    #: 0 disables it (default: correctness-first opt-in).
+    result_cache_capacity: int = 0
+    result_cache_max_rows: int = 10000
+    #: Where the statement registry is persisted on shutdown and warmed
+    #: from on boot (None = no persistence). Warming replays each
+    #: recorded statement through prepare, so the plan cache is hot —
+    #: and, when warming happens before the pool forks, inherited by
+    #: every worker.
+    statement_cache_path: Optional[str] = None
 
 
 class ReadWriteLock:
@@ -162,9 +184,14 @@ class QueryServer:
         self.config = config or ServerConfig()
         self.connection = Connection(database)
         self.cache = AdornmentPlanCache(capacity=self.config.cache_capacity)
+        self.result_cache = ResultCache(
+            capacity=self.config.result_cache_capacity,
+            max_rows=self.config.result_cache_max_rows,
+        )
         self.admission = AdmissionController(
             max_concurrent=self.config.max_concurrent,
             max_queue=self.config.max_queue,
+            parallelism=max(self.config.workers, 1),
         )
         self.breakers = StrategyBreakerBoard(
             failure_threshold=self.config.breaker_failure_threshold,
@@ -184,11 +211,29 @@ class QueryServer:
         self.deadline_trips = 0
         self.fallbacks = 0
         self.executor_fallbacks = 0
+        #: ``fingerprint -> {sql, strategy, executor}``: everything ever
+        #: prepared on this server, the source of statement-cache
+        #: persistence across restarts.
+        self._registry_lock = threading.Lock()
+        self._statement_registry = {}
+        self.statements_warmed = 0
+        # Warm BEFORE forking the pool: plans prepared here are part of
+        # the copy-on-write image every worker inherits.
+        if self.config.statement_cache_path:
+            self.warm_statement_cache()
+        self.pool = None
+        if self.config.workers > 0:
+            from repro.server.workers import WorkerPool, fork_available
+
+            if fork_available():
+                self.pool = WorkerPool(
+                    database, self.config, plan_cache=self.cache
+                )
 
     # -- request entry points (called on executor threads) -----------------------
 
     def handle_query(self, sql, params=None, strategy=None, deadline=None,
-                     cancel_event=None, executor=None):
+                     cancel_event=None, executor=None, fresh=False):
         """One-shot: parse, cache-or-prepare, bind, execute."""
         script = parse_script(sql)
         from repro.sql.ast import CreateView, Query
@@ -206,7 +251,8 @@ class QueryServer:
             )
         handle = self._make_handle(sql, script, strategy, executor)
         return self.handle_execute(
-            handle, params, deadline=deadline, cancel_event=cancel_event
+            handle, params, deadline=deadline, cancel_event=cancel_event,
+            fresh=fresh,
         )
 
     def handle_prepare(self, sql, strategy=None, executor=None):
@@ -232,39 +278,120 @@ class QueryServer:
         }
 
     def handle_execute(self, handle, params=None, deadline=None,
-                       cancel_event=None):
-        """Execute a prepared handle with bound values."""
+                       cancel_event=None, fresh=False):
+        """Execute a prepared handle with bound values.
+
+        The whole span — result-cache lookup, dispatch/execution, store —
+        runs under *one* read-lock acquisition (the lock is not
+        reentrant), so the table versions in a result-cache key cannot
+        move between lookup and serve: DML takes the write lock.
+        ``fresh=True`` bypasses the result cache entirely (no lookup, no
+        store) — the chaos oracle uses it to force real re-execution.
+        """
         values = list(params or []) + list(handle.extracted_values)
-        governor = self._make_governor(deadline, cancel_event)
         started = time.perf_counter()
+        with self.lock.read():
+            key = None
+            if not fresh and self.result_cache.capacity:
+                key = ResultCache.make_key(
+                    handle.fingerprint,
+                    handle.strategy,
+                    handle.executor,
+                    self.database.schema_version(),
+                    values,
+                    self.database.table_versions(),
+                )
+                cached = self.result_cache.lookup(key)
+                if cached is not None:
+                    cached["cache"] = "result"
+                    cached["elapsed_seconds"] = round(
+                        time.perf_counter() - started, 6
+                    )
+                    with self._stats_lock:
+                        self.queries_ok += 1
+                    return cached
+            if self.pool is not None and self.pool.admit():
+                response = self._execute_on_pool(
+                    handle, params, deadline, cancel_event, started
+                )
+            else:
+                response = self._execute_inprocess(
+                    handle, values, deadline, cancel_event, started
+                )
+            if key is not None:
+                # Only a *complete* success is ever cached — every error
+                # path above raised past this line, so a crashed or
+                # half-failed execution cannot leave a cache entry.
+                self.result_cache.store(key, response)
+            return response
+
+    def _execute_on_pool(self, handle, params, deadline, cancel_event,
+                         started):
+        """Ship the statement to a pool worker and relay its reply."""
+        clamped = min(
+            deadline if deadline is not None
+            else self.config.default_deadline_seconds,
+            self.config.max_deadline_seconds,
+        )
+        message = {
+            "op": "query",
+            "sql": handle.sql,
+            "params": list(params or []),
+            "strategy": handle.strategy,
+            "executor": handle.executor,
+            "deadline": clamped,
+        }
+        try:
+            reply = self.pool.dispatch(
+                message, clamped, cancel_event=cancel_event
+            )
+        except (WorkerCrashedError, QueryCancelledError,
+                ResourceExhaustedError) as exc:
+            self._note_failure(exc)
+            raise
+        if not reply.get("ok"):
+            from repro.server.workers import RemoteQueryError
+
+            exc = RemoteQueryError(reply.get("error") or {})
+            self._note_failure(exc)
+            raise exc
+        response = reply["response"]
+        response["worker_pid"] = reply.get("pid")
+        response["elapsed_seconds"] = round(time.perf_counter() - started, 6)
+        with self._stats_lock:
+            self.queries_ok += 1
+        return response
+
+    def _execute_inprocess(self, handle, values, deadline, cancel_event,
+                           started):
+        """The classic thread-pool path (also the degraded path when the
+        worker-crash breaker is open)."""
+        governor = self._make_governor(deadline, cancel_event)
         chain = self._fallback_chain(self.breakers.select(handle.strategy))
         last_error = None
-        with self.lock.read():
-            for attempt, candidate in enumerate(chain):
-                try:
-                    response = self._run_once(
-                        handle, candidate, values, governor
-                    )
-                except (ResourceExhaustedError, QueryCancelledError) as exc:
-                    # Budget and cancellation trips are not the strategy's
-                    # fault and would recur under any strategy: no fallback.
-                    self._note_failure(exc)
-                    raise
-                except Exception as exc:
-                    self.breakers.record_failure(candidate, exc)
-                    last_error = exc
-                    continue
-                self.breakers.record_success(candidate)
-                with self._stats_lock:
-                    self.queries_ok += 1
-                    if attempt:
-                        self.fallbacks += attempt
-                response["requested_strategy"] = handle.strategy
-                response["executed_strategy"] = candidate
-                response["elapsed_seconds"] = round(
-                    time.perf_counter() - started, 6
-                )
-                return response
+        for attempt, candidate in enumerate(chain):
+            try:
+                response = self._run_once(handle, candidate, values, governor)
+            except (ResourceExhaustedError, QueryCancelledError) as exc:
+                # Budget and cancellation trips are not the strategy's
+                # fault and would recur under any strategy: no fallback.
+                self._note_failure(exc)
+                raise
+            except Exception as exc:
+                self.breakers.record_failure(candidate, exc)
+                last_error = exc
+                continue
+            self.breakers.record_success(candidate)
+            with self._stats_lock:
+                self.queries_ok += 1
+                if attempt:
+                    self.fallbacks += attempt
+            response["requested_strategy"] = handle.strategy
+            response["executed_strategy"] = candidate
+            response["elapsed_seconds"] = round(
+                time.perf_counter() - started, 6
+            )
+            return response
         self._note_failure(last_error)
         raise last_error
 
@@ -281,6 +408,11 @@ class QueryServer:
             if outcome is not None:
                 response["columns"] = list(outcome.columns)
                 response["rows"] = [list(row) for row in outcome.rows]
+            if self.pool is not None:
+                # Publish changed tables (and the catalog, if its bytes
+                # moved) while the write lock guarantees no dispatch is
+                # mid-flight reading the old segments.
+                self.pool.publish()
             return response
 
     def handle_stats(self):
@@ -293,17 +425,75 @@ class QueryServer:
                 "fallbacks": self.fallbacks,
                 "executor_fallbacks": self.executor_fallbacks,
             }
-        return {
+        counters["statements_warmed"] = self.statements_warmed
+        stats = {
             "counters": counters,
             "cache": self.cache.stats(),
+            "result_cache": self.result_cache.stats(),
             "admission": self.admission.stats(),
             "breakers": self.breakers.snapshot(),
             "catalog_version": self.database.schema_version(),
             "table_versions": self.database.table_versions(),
         }
+        if self.pool is not None:
+            stats["workers"] = self.pool.stats()
+        return stats
 
     def shutdown(self):
+        if self.config.statement_cache_path:
+            self.save_statement_cache()
+        if self.pool is not None:
+            self.pool.shutdown()
         self.executor.shutdown(wait=True)
+
+    # -- statement-cache persistence ----------------------------------------------
+
+    def save_statement_cache(self, path=None):
+        """Serialize every statement ever prepared here (fingerprint
+        registry) to JSON; the next boot warms from it. Returns the
+        number of statements written."""
+        path = path or self.config.statement_cache_path
+        if not path:
+            return 0
+        with self._registry_lock:
+            statements = list(self._statement_registry.values())
+        payload = {"version": 1, "statements": statements}
+        tmp = "%s.tmp.%d" % (path, os.getpid())
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=1)
+        os.replace(tmp, path)
+        return len(statements)
+
+    def warm_statement_cache(self, path=None):
+        """Replay a persisted statement set through prepare, landing each
+        plan in the shared cache before any client arrives. A statement
+        that no longer parses or plans (schema changed under it) is
+        skipped, not fatal. Returns the number warmed."""
+        path = path or self.config.statement_cache_path
+        if not path or not os.path.exists(path):
+            return 0
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+            statements = payload.get("statements") or []
+        except (OSError, ValueError):
+            return 0
+        warmed = 0
+        for spec in statements:
+            try:
+                sql = spec["sql"]
+                script = parse_script(sql)
+                handle = self._make_handle(
+                    sql, script, spec.get("strategy"), spec.get("executor")
+                )
+                governor = self._make_governor(None, None)
+                with self.lock.read():
+                    self._entry_for(handle, handle.strategy, governor)
+                warmed += 1
+            except Exception:  # noqa: BLE001 — warming is best-effort
+                continue
+        self.statements_warmed = warmed
+        return warmed
 
     # -- internals ---------------------------------------------------------------
 
@@ -322,7 +512,7 @@ class QueryServer:
             )
         query = script.queries[0]
         extracted = parameterize_query(query)
-        return PreparedHandle(
+        handle = PreparedHandle(
             sql=sql,
             query=query,
             views=list(script.views),
@@ -332,6 +522,13 @@ class QueryServer:
             extracted_values=extracted,
             executor=executor,
         )
+        with self._registry_lock:
+            self._statement_registry[handle.fingerprint] = {
+                "sql": sql,
+                "strategy": strategy,
+                "executor": executor,
+            }
+        return handle
 
     def _make_governor(self, deadline, cancel_event):
         clamped = min(
@@ -364,24 +561,46 @@ class QueryServer:
     def _entry_for(self, handle, strategy, governor):
         """Cache lookup, preparing (serialized) on a miss. Runs under the
         read lock: the catalog version read here stays valid for the whole
-        execution."""
+        execution.
+
+        A hit whose recorded table versions no longer match the live
+        tables is *evicted and re-prepared* — the stale plan was still
+        correct (plans never embed rows), but it was optimized against
+        dead statistics, and serving it forever would make ANALYZE
+        pointless. The cache state returned alongside the entry is
+        ``"hit"``, ``"miss"``, or ``"replan"``.
+        """
         catalog_version = self.database.schema_version()
         entry = self.cache.lookup(handle.fingerprint, strategy, catalog_version)
+        state = "miss"
         if entry is not None:
-            return entry, True
+            if not entry.staleness(self.database.table_versions()):
+                return entry, "hit"
+            self.cache.evict_stale(entry.key)
+            state = "replan"
         with self._prepare_lock:
             # Another thread may have prepared it while we waited.
             entry = self.cache.lookup(
                 handle.fingerprint, strategy, catalog_version
             )
             if entry is not None:
-                return entry, True
+                if not entry.staleness(self.database.table_versions()):
+                    return entry, "hit"
+                self.cache.evict_stale(entry.key)
+                state = "replan"
             governor.checkpoint("prepare of %s" % handle.fingerprint)
             with self.database.catalog.scoped_views(handle.views):
                 graph, plan, heuristic, _ = self.connection.prepare(
                     handle.query, strategy
                 )
             validate_graph(graph)
+            # Record versions for exactly the base tables the (rewritten)
+            # graph reads: DML against an unrelated table must not make
+            # this plan look stale.
+            stored = self.database.stored_tables()
+            names = [
+                name for name in graph.base_table_names() if name in stored
+            ]
             entry = CachedPlan(
                 fingerprint=handle.fingerprint,
                 adornment=statement_adornment(graph),
@@ -391,13 +610,13 @@ class QueryServer:
                 plan=plan,
                 heuristic=heuristic,
                 param_count=parameter_count(graph),
-                table_versions=self.database.table_versions(),
+                table_versions=self.database.table_versions(names),
             )
             self.cache.store(entry)
-            return entry, False
+            return entry, state
 
     def _run_once(self, handle, strategy, values, governor):
-        entry, cache_hit = self._entry_for(handle, strategy, governor)
+        entry, cache_state = self._entry_for(handle, strategy, governor)
         if handle.param_count > len(values):
             raise ExecutionError(
                 "statement expects %d parameter(s), got %d"
@@ -449,7 +668,7 @@ class QueryServer:
             "columns": list(result.columns),
             "rows": [list(row) for row in result.rows],
             "row_count": len(result.rows),
-            "cache": "hit" if cache_hit else "miss",
+            "cache": cache_state,
             "fingerprint": entry.fingerprint,
             "adornment": entry.adornment,
             "executor": executor,
@@ -457,11 +676,22 @@ class QueryServer:
         }
 
     def _note_failure(self, exc):
+        # Errors relayed from a worker arrive as RemoteQueryError carrying
+        # the original type name; classify those by name so the counters
+        # agree regardless of where the query ran.
+        error_type = getattr(exc, "error_type", type(exc).__name__)
         with self._stats_lock:
             self.queries_failed += 1
-            if isinstance(exc, QueryCancelledError):
+            if isinstance(exc, QueryCancelledError) or (
+                error_type == "QueryCancelledError"
+            ):
                 self.cancellations += 1
-            elif isinstance(exc, ResourceExhaustedError) and getattr(
-                exc, "limit", None
-            ) == "deadline_seconds":
+            elif (
+                isinstance(exc, ResourceExhaustedError)
+                and getattr(exc, "limit", None) == "deadline_seconds"
+            ) or (
+                error_type == "ResourceExhaustedError"
+                and (getattr(exc, "context", None) or {}).get("limit")
+                == "deadline_seconds"
+            ):
                 self.deadline_trips += 1

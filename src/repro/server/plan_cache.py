@@ -127,6 +127,24 @@ class AdornmentPlanCache:
         self.misses = 0
         self.evictions = 0
         self.invalidated = 0
+        self.stale_replans = 0
+
+    def _after_fork(self):
+        """Replace the lock after a fork: the parent may have held it at
+        fork time, and a child that inherits a locked lock deadlocks on
+        first use. Only the forking worker's private copy is touched."""
+        self._lock = threading.Lock()
+
+    def evict_stale(self, key):
+        """Drop an entry whose statistics went stale so the caller can
+        re-prepare against current table versions. Counted separately
+        from capacity evictions (``stale_replans``)."""
+        with self._lock:
+            if key in self._entries:
+                self._drop(key)
+                self.stale_replans += 1
+                return True
+            return False
 
     def lookup(self, fingerprint, strategy, catalog_version):
         with self._lock:
@@ -189,4 +207,5 @@ class AdornmentPlanCache:
                 "hit_rate": (self.hits / total) if total else 0.0,
                 "evictions": self.evictions,
                 "invalidated": self.invalidated,
+                "stale_replans": self.stale_replans,
             }

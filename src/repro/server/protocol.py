@@ -109,7 +109,16 @@ async def read_frame(reader):
 
 
 def error_to_wire(exc):
-    """Serialize an exception into the structured wire-error object."""
+    """Serialize an exception into the structured wire-error object.
+
+    An exception already carrying a ``wire`` dict (an error relayed from
+    a worker process, or a client-side :class:`ServerError` re-raised by
+    a proxy) passes through verbatim — the original type name and retry
+    metadata must survive any number of hops.
+    """
+    wire = getattr(exc, "wire", None)
+    if isinstance(wire, dict) and wire.get("type"):
+        return dict(wire)
     context = getattr(exc, "context", None)
     wire = {
         "type": type(exc).__name__,

@@ -118,6 +118,7 @@ class Session:
                         executor=request.get("executor"),
                         deadline=request.get("deadline"),
                         cancel_event=cancel,
+                        fresh=bool(request.get("fresh")),
                     ),
                 )
             elif op == "prepare":
@@ -148,6 +149,7 @@ class Session:
                         params=request.get("params"),
                         deadline=request.get("deadline"),
                         cancel_event=cancel,
+                        fresh=bool(request.get("fresh")),
                     ),
                 )
             elif op == "script":
@@ -219,6 +221,13 @@ async def serve(server, host=None, port=None):
     port = port if port is not None else server.config.port
 
     async def handler(reader, writer):
-        await Session(server, reader, writer).run()
+        try:
+            await Session(server, reader, writer).run()
+        except asyncio.CancelledError:
+            # Event-loop teardown cancels sessions still waiting for a
+            # frame (e.g. one whose peer's socket fd survives in a forked
+            # worker, so EOF never arrives). A cancelled wait at shutdown
+            # is a clean end, not an error to log.
+            pass
 
     return await asyncio.start_server(handler, host=host, port=port)

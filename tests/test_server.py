@@ -378,15 +378,41 @@ def test_ddl_invalidates_cached_plans(empdept_server):
     assert server.cache.stats()["invalidated"] >= 1
 
 
-def test_dml_marks_plans_stale_but_still_correct(empdept_server):
+def test_dml_evicts_stale_plan_and_replans(empdept_server):
+    """DML used to leave stale plans serving forever (``stale_tables``
+    reported the problem, nothing acted on it). The cache now evicts a
+    hit whose recorded table versions moved and re-prepares against
+    current statistics — the response says so (``cache == "replan"``),
+    the replanned entry is *not* stale, and subsequent executions hit
+    the fresh plan."""
     server = empdept_server
     server.handle_query(PARAM_QUERY, params=["Planning"])
     server.handle_script(
         "INSERT INTO employee VALUES (99999, 'New', 'D0001', 70000, 'CLERK')"
     )
     result = server.handle_query(PARAM_QUERY, params=["Planning"])
-    assert result["cache"] == "hit"  # DML is not DDL: plan still reachable
-    assert "employee" in result["stale_tables"]
+    assert result["cache"] == "replan"  # stale plan evicted, re-prepared
+    assert result["stale_tables"] == []  # the new plan has fresh versions
+    assert server.cache.stats()["stale_replans"] >= 1
+    again = server.handle_query(PARAM_QUERY, params=["Planning"])
+    assert again["cache"] == "hit"  # replanned entry serves until next DML
+
+
+def test_dml_on_unrelated_table_does_not_replan(empdept_server):
+    """Plan staleness is tracked per base table the (rewritten) graph
+    actually reads: DML against a table the plan never touches must not
+    evict it."""
+    server = empdept_server
+    server.handle_script("CREATE TABLE bystander (x, y)")
+    server.handle_query(PARAM_QUERY, params=["Planning"])
+    assert (
+        server.handle_query(PARAM_QUERY, params=["Planning"])["cache"]
+        == "hit"
+    )
+    server.handle_script("INSERT INTO bystander VALUES (1, 2)")
+    result = server.handle_query(PARAM_QUERY, params=["Planning"])
+    assert result["cache"] == "hit"
+    assert result["stale_tables"] == []
 
 
 def test_prepare_execute_parameter_mismatch(empdept_server):
