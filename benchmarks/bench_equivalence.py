@@ -80,9 +80,9 @@ def _verification_overhead(scale):
     samples = []
     recorded = RuleContext.record_equivalence
 
-    def recording(self, rule_name, status, seconds=0.0):
+    def recording(self, rule_name, status, seconds=0.0, reason_code=None):
         samples.append(seconds)
-        return recorded(self, rule_name, status, seconds)
+        return recorded(self, rule_name, status, seconds, reason_code)
 
     connection = _empdept_connection(scale)
     RuleContext.record_equivalence = recording
@@ -93,15 +93,21 @@ def _verification_overhead(scale):
     without_seconds, baseline = _timed_paranoid_run(connection, False)
 
     verdicts = {}
+    reasons = {}
     for statuses in outcome.stats.get("equivalence_verdicts", {}).values():
-        for status, count in statuses.items():
-            verdicts[status] = verdicts.get(status, 0) + count
+        for status, codes in statuses.items():
+            bucket = reasons.setdefault(status, {})
+            for code, count in codes.items():
+                bucket[code] = bucket.get(code, 0) + count
+            verdicts[status] = verdicts.get(status, 0) + sum(codes.values())
     assert samples, "paranoid mode produced no validated firings"
     assert not baseline.stats.get("equivalence_verdicts")
     assert sorted(outcome.rows, key=repr) == sorted(baseline.rows, key=repr)
     return {
         "firings_validated": len(samples),
+        "verified_firings": verdicts.get("VERIFIED", 0),
         "verdicts": verdicts,
+        "verdict_reasons": reasons,
         "per_firing_ms_p50": _percentile(samples, 0.50) * 1000.0,
         "per_firing_ms_p99": _percentile(samples, 0.99) * 1000.0,
         "chase_seconds_total": outcome.stats.get("equivalence_seconds", 0.0),

@@ -299,3 +299,26 @@ class NullabilityAnalysis(BoxAnalysis):
 def solve_nullability(root_box) -> Dict[int, NullFact]:
     """Solve nullability over everything reachable from ``root_box``."""
     return solve(NullabilityAnalysis(), [root_box])
+
+
+def null_rejected_refs(box) -> Set[Tuple[int, str]]:
+    """``(id(quantifier), column)`` pairs grounded by ``box``'s predicates."""
+    return NullabilityAnalysis()._null_rejected_refs(box)
+
+
+def null_rejecting_refs(predicates) -> Set[Tuple[int, str]]:
+    """References a row surviving all of ``predicates`` cannot hold NULL in."""
+    analysis = NullabilityAnalysis()
+    rejected: Set[Tuple[int, str]] = set()
+    for predicate in predicates:
+        for conjunct in qe.conjuncts(predicate):
+            analysis._collect_null_rejected(conjunct, rejected)
+    return rejected
+
+
+def strict_refs(expr) -> Set[Tuple[int, str]]:
+    """References reached only through null-strict operators in ``expr``
+    (a NULL in any of them forces the whole expression to NULL)."""
+    refs: Set[Tuple[int, str]] = set()
+    NullabilityAnalysis()._collect_strict_refs(expr, refs)
+    return refs

@@ -8,6 +8,11 @@ Two findings, both non-fatal:
 * ``QGM302`` (info) — an output column no consumer ever references. This
   is exactly the feed of the projection-pruning rewrite rule; the linter
   surfaces it so hand-built graphs and builders can trim themselves.
+* ``QGM604`` (warning) — a select box whose predicates are contradictory
+  under the interpreted comparison domain
+  (:mod:`repro.analysis.equivalence.domains`): ``x < 3 AND x > 7`` and
+  friends. The box provably returns no rows, which is almost always a
+  query-authoring bug; everything downstream of it is dead too.
 """
 
 from __future__ import annotations
@@ -56,6 +61,27 @@ class DeadCodePass(AnalysisPass):
                 )
 
         self._check_unused_columns(context, report, live)
+        self._check_contradictory_predicates(context, report, live)
+
+    def _check_contradictory_predicates(self, context, report, live) -> None:
+        from repro.analysis.equivalence import domains
+
+        for box in context.boxes:
+            if box.kind != BoxKind.SELECT or id(box) not in live:
+                continue
+            if not box.predicates:
+                continue
+            if domains.predicates_unsatisfiable(box.predicates):
+                self.emit(
+                    report,
+                    "QGM604",
+                    Severity.WARNING,
+                    "box %r has contradictory predicates: the box is "
+                    "provably empty and returns no rows" % box.name,
+                    box=box,
+                    hint="the predicates admit no value; check the "
+                    "ranges for a typo",
+                )
 
     def _check_unused_columns(self, context, report, live) -> None:
         graph = context.graph

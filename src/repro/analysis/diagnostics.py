@@ -99,6 +99,8 @@ CODES: Dict[str, str] = {
     "QGM601": "rewrite firing refuted by chase-based translation validation",
     "QGM602": "join is semantically redundant under the declared dependencies",
     "QGM603": "predicate is implied by the declared dependencies",
+    "QGM604": "box predicates are contradictory; the box is provably empty",
+    "QGM605": "comparison predicate is implied by the other interval facts",
 }
 
 

@@ -37,7 +37,10 @@ from repro.analysis.equivalence.dependencies import (
     InclusionDependency,
     dependencies_from_catalog,
 )
+from repro.analysis.equivalence.reasons import ALL_REASON_CODES, Reason
+from repro.analysis.equivalence.scope import scoped_verdict
 from repro.analysis.equivalence.tableau import (
+    AggregateSpec,
     CannotCanonicalize,
     CanonicalQuery,
     Tableau,
@@ -46,6 +49,8 @@ from repro.analysis.equivalence.tableau import (
 )
 
 __all__ = [
+    "ALL_REASON_CODES",
+    "AggregateSpec",
     "ChaseBudget",
     "CannotCanonicalize",
     "CanonicalQuery",
@@ -55,6 +60,7 @@ __all__ = [
     "FunctionalDependency",
     "InclusionDependency",
     "REFUTED",
+    "Reason",
     "Tableau",
     "UNKNOWN",
     "VERIFIED",
@@ -62,4 +68,5 @@ __all__ = [
     "canonicalize_graph",
     "chase",
     "dependencies_from_catalog",
+    "scoped_verdict",
 ]

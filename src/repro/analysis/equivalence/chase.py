@@ -24,7 +24,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.analysis.equivalence.tableau import Atom, Const, Tableau, Var, _Unifier, _Unsat
+from repro.analysis.equivalence import domains
+from repro.analysis.equivalence.tableau import (
+    Atom,
+    Const,
+    Tableau,
+    Var,
+    _resolve_cmps,
+    _Unifier,
+    _Unsat,
+)
 
 
 @dataclass
@@ -170,8 +179,10 @@ def chase(tableau, deps, budget=None, repair=False):
                 atoms=(),
                 builtins=tableau.builtins,
                 head=tableau.head,
+                comparisons=tableau.comparisons,
                 nonnull=tableau.nonnull,
                 schemas=schemas,
+                derived=dict(tableau.derived),
                 bag_exact=state["bag_exact"],
                 next_var=next_var,
                 chase_complete=True,
@@ -233,18 +244,27 @@ def chase(tableau, deps, budget=None, repair=False):
     atoms = _demote_anchored(
         atoms, unifier.resolve(tableau.head), schemas, deps.fds
     )
+    # Chase equalities may have merged comparison sides; re-normalize and
+    # re-check for contradictions (e.g. an FD equating x with a constant
+    # outside x's admitted range makes the block provably empty).
+    comparisons, cmp_unsat = _resolve_cmps(tableau.comparisons, unifier.find)
+    unsat = cmp_unsat or (
+        bool(comparisons) and domains.system_of(comparisons).unsatisfiable()
+    )
     return Tableau(
         atoms=tuple(atoms),
         builtins=tuple(
             type(b)(b.skeleton, unifier.resolve(b.terms)) for b in tableau.builtins
         ),
         head=unifier.resolve(tableau.head),
+        comparisons=comparisons,
         nonnull=frozenset(unifier.find(t) for t in tableau.nonnull),
         schemas=schemas,
+        derived=dict(tableau.derived),
         bag_exact=state["bag_exact"],
         next_var=next_var,
         chase_complete=complete and tableau.chase_complete,
-        unsatisfiable=False,
+        unsatisfiable=unsat,
     )
 
 

@@ -7,23 +7,41 @@ analysis passes use. ``check_graphs(before, after)`` (and the box-level
 * ``VERIFIED`` — the two regions provably return the same rows on every
   database satisfying the catalog's declared dependencies. The ``bag``
   flag records whether *multiset* equality was proven (isomorphism of
-  chased bag-exact tableaux) or set equality of provably duplicate-free
-  queries.
+  chased bag-exact tableaux, possibly disjunct-by-disjunct) or set
+  equality of provably duplicate-free queries.
 * ``REFUTED`` — a concrete counterexample database was frozen out of a
   chased witness tableau: it satisfies every declared constraint, one
   side produces the witness row on it and the other side cannot. This is
   only issued when the chase completed, the witness carries no
-  uninterpreted builtins, and the *repaired* witness (chased with every
-  FK, including nullable ones) still admits no homomorphism — so an
-  ``REFUTED`` verdict is a checkable artifact, not a heuristic.
+  uninterpreted builtins, comparisons, or derived (aggregate) atoms, and
+  the *repaired* witness (chased with every FK, including nullable ones)
+  still admits no homomorphism — so a ``REFUTED`` verdict is a checkable
+  artifact, not a heuristic.
 * ``UNKNOWN`` — out of fragment, out of budget, or simply not provable
   from the declared dependencies. Always safe.
+
+Every verdict carries a stable machine-readable ``reason_code`` (see
+:mod:`repro.analysis.equivalence.reasons`) next to the human ``detail``
+string, so sweeps can histogram outcomes without parsing prose.
+
+Aggregation support: GROUPBY boxes canonicalize into *derived atoms*
+whose meaning is an :class:`~repro.analysis.equivalence.tableau.AggregateSpec`.
+Before any containment test the checker clusters every spec seen on
+either side into equivalence classes (matching aggregate output
+skeletons + equivalent grouping cores, bag-equivalent when a
+bag-sensitive aggregate like SUM/COUNT/AVG is present, set-equivalent
+for MIN/MAX/DISTINCT aggregates) and renames the derived symbols to a
+class-canonical name — after which the ordinary homomorphism machinery
+treats equivalent aggregations as the same relation. Exposed group keys
+contribute a functional dependency over the derived relation (a global
+aggregate is a one-row relation), so the chase can merge and demote
+derived atoms exactly like keyed base tables.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 from typing import Dict, Optional
 
 from repro.analysis.equivalence.chase import ChaseBudget, chase
@@ -34,8 +52,14 @@ from repro.analysis.equivalence.containment import (
     find_homomorphism,
     is_isomorphic,
 )
-from repro.analysis.equivalence.dependencies import dependencies_from_catalog
+from repro.analysis.equivalence.dependencies import (
+    DependencySet,
+    FunctionalDependency,
+    dependencies_from_catalog,
+)
+from repro.analysis.equivalence.reasons import Reason
 from repro.analysis.equivalence.tableau import (
+    Atom,
     CannotCanonicalize,
     Const,
     canonicalize_box,
@@ -48,13 +72,17 @@ VERIFIED = "VERIFIED"
 REFUTED = "REFUTED"
 UNKNOWN = "UNKNOWN"
 
+#: Aggregates whose value depends on the *bag* of argument rows; the
+#: others (MIN/MAX, and any DISTINCT aggregate) only see the set.
+_BAG_AGGS = frozenset({"SUM", "COUNT", "AVG"})
+
 
 @dataclass
 class EquivalenceVerdict:
     """Outcome of one equivalence check."""
 
     status: str
-    reason: str = ""
+    detail: str = ""
     #: True when multiset (bag) equality was proven, not just set equality.
     bag: bool = False
     #: For REFUTED: {"tables": {name: [row, ...]}, "row": tuple,
@@ -62,14 +90,56 @@ class EquivalenceVerdict:
     #: the declared dependencies on which the two sides disagree.
     counterexample: Optional[dict] = None
     seconds: float = 0.0
+    #: Stable machine-readable code (see
+    #: :mod:`repro.analysis.equivalence.reasons`).
+    reason_code: str = ""
+
+    @property
+    def reason(self):
+        """Backwards-compatible alias for :attr:`detail`."""
+        return self.detail
 
     def describe(self):
         text = self.status
         if self.status == VERIFIED:
             text += " (bag)" if self.bag else " (set)"
-        if self.reason:
-            text += ": " + self.reason
+        if self.detail:
+            text += ": " + self.detail
+        if self.reason_code:
+            text += " [%s]" % self.reason_code
         return text
+
+
+def _spec_needs_bag(spec):
+    """Does any aggregate of ``spec`` read multiplicities of its core?"""
+    for output in spec.outputs:
+        if output[0] != "agg":
+            continue
+        _, func, distinct, _, _ = output
+        if not distinct and func in _BAG_AGGS:
+            return True
+    return False
+
+
+def _derived_fd(symbol, spec):
+    """Functional dependency the derived relation's group keys induce.
+
+    GROUP BY emits one row per key combination, so the exposed key
+    columns determine the whole row — provided *every* key is exposed.
+    A global aggregate (no keys) is a one-row relation: the empty
+    determinant pins everything.
+    """
+    if spec.group_arity == 0:
+        return FunctionalDependency(symbol, ())
+    positions = []
+    exposed = set()
+    for index, output in enumerate(spec.outputs):
+        if output[0] == "key":
+            positions.append(index)
+            exposed.add(output[1])
+    if exposed >= set(range(spec.group_arity)):
+        return FunctionalDependency(symbol, tuple(positions))
+    return None
 
 
 class EquivalenceChecker:
@@ -87,15 +157,19 @@ class EquivalenceChecker:
 
     def check_graphs(self, before, after):
         """Verdict on whole query graphs (their top boxes)."""
-        return self._timed(self._check_canonicalizable, before, after, True)
+        return self._timed(before, after, whole_graph=True)
 
-    def check_boxes(self, before, after):
+    def check_boxes(self, before, after, allow_special=False):
         """Verdict on two boxes read as standalone queries.
 
         Sound for judging an in-place box rewrite as long as the box's
         region is self-contained (canonicalization rejects correlated
-        references that escape it)."""
-        return self._timed(self._check_canonicalizable, before, after, False)
+        references that escape it). ``allow_special`` admits magic and
+        supplementary regions — only sound for scoped firing validation,
+        where the region is compared as a standalone query."""
+        return self._timed(
+            before, after, whole_graph=False, allow_special=allow_special
+        )
 
     def implied_equality(self, box, predicate):
         """True when ``predicate`` (a simple column equality of ``box``)
@@ -118,38 +192,79 @@ class EquivalenceChecker:
 
     # -- core ---------------------------------------------------------------
 
-    def _timed(self, fn, before, after, whole_graph):
+    def _timed(self, before, after, whole_graph, allow_special=False):
         start = time.perf_counter()
-        verdict = fn(before, after, whole_graph)
+        verdict = self._check_canonicalizable(
+            before, after, whole_graph, allow_special
+        )
         verdict.seconds = time.perf_counter() - start
         self.counts[verdict.status] = self.counts.get(verdict.status, 0) + 1
         self.seconds += verdict.seconds
         return verdict
 
-    def _check_canonicalizable(self, before, after, whole_graph):
-        canonicalize = canonicalize_graph if whole_graph else canonicalize_box
+    def _check_canonicalizable(self, before, after, whole_graph, allow_special):
+        if whole_graph:
+            def canonicalize(box):
+                return canonicalize_graph(
+                    box, max_disjuncts=self.budget.max_disjuncts
+                )
+        else:
+            def canonicalize(box):
+                return canonicalize_box(
+                    box,
+                    max_disjuncts=self.budget.max_disjuncts,
+                    allow_special=allow_special,
+                )
         try:
-            left = canonicalize(before, max_disjuncts=self.budget.max_disjuncts)
-        except (CannotCanonicalize, QgmError) as exc:
-            return EquivalenceVerdict(UNKNOWN, "before side: %s" % exc)
+            left = canonicalize(before)
+        except CannotCanonicalize as exc:
+            return EquivalenceVerdict(
+                UNKNOWN, "before side: %s" % exc, reason_code=exc.code
+            )
+        except QgmError as exc:
+            return EquivalenceVerdict(
+                UNKNOWN, "before side: %s" % exc,
+                reason_code=Reason.FRAGMENT_OTHER,
+            )
         try:
-            right = canonicalize(after, max_disjuncts=self.budget.max_disjuncts)
-        except (CannotCanonicalize, QgmError) as exc:
-            return EquivalenceVerdict(UNKNOWN, "after side: %s" % exc)
+            right = canonicalize(after)
+        except CannotCanonicalize as exc:
+            return EquivalenceVerdict(
+                UNKNOWN, "after side: %s" % exc, reason_code=exc.code
+            )
+        except QgmError as exc:
+            return EquivalenceVerdict(
+                UNKNOWN, "after side: %s" % exc,
+                reason_code=Reason.FRAGMENT_OTHER,
+            )
         return self.check_queries(left, right)
 
     def check_queries(self, left, right):
         """Verdict on two already-canonicalized queries."""
         if left.arity != right.arity:
             return EquivalenceVerdict(
-                REFUTED, "output arity differs (%d vs %d)" % (left.arity, right.arity)
+                REFUTED,
+                "output arity differs (%d vs %d)" % (left.arity, right.arity),
+                reason_code=Reason.REFUTED_ARITY,
             )
 
-        left_pairs = self._chase_disjuncts(left)
-        right_pairs = self._chase_disjuncts(right)
+        has_derived = any(
+            t.derived for t in left.disjuncts + right.disjuncts
+        )
+        if has_derived:
+            left, right = self._canonize_derived([left, right])
+        deps = self._extended_deps(left.disjuncts + right.disjuncts)
+
+        left_pairs = self._chase_disjuncts(left, deps)
+        right_pairs = self._chase_disjuncts(right, deps)
 
         if not left_pairs and not right_pairs:
-            return EquivalenceVerdict(VERIFIED, "both sides provably empty", bag=True)
+            return EquivalenceVerdict(
+                VERIFIED,
+                "both sides provably empty",
+                bag=True,
+                reason_code=Reason.VERIFIED_EMPTY,
+            )
 
         # Multiset equivalence: single conjunctive blocks with exact bag
         # bookkeeping that chase into isomorphic tableaux.
@@ -164,8 +279,30 @@ class EquivalenceChecker:
             status = is_isomorphic(left_pairs[0][1], right_pairs[0][1], self.budget)
             if status == HOM_FOUND:
                 return EquivalenceVerdict(
-                    VERIFIED, "chased tableaux are isomorphic", bag=True
+                    VERIFIED,
+                    "chased tableaux are isomorphic",
+                    bag=True,
+                    reason_code=Reason.VERIFIED_ISO,
                 )
+
+        # Disjunct-by-disjunct matching: UNION ALL sums multiplicities, so
+        # a perfect matching of pairwise-isomorphic bag-exact disjuncts
+        # (e.g. the two expansions of a rewritten LEFT join) certifies bag
+        # equality of the unions.
+        if (
+            len(left_pairs) == len(right_pairs)
+            and len(left_pairs) > 1
+            and left.bag_exact
+            and right.bag_exact
+            and all(chased.bag_exact for _, chased in left_pairs + right_pairs)
+            and self._disjunct_matching(left_pairs, right_pairs)
+        ):
+            return EquivalenceVerdict(
+                VERIFIED,
+                "disjuncts match pairwise up to isomorphism",
+                bag=True,
+                reason_code=Reason.VERIFIED_DISJUNCTS,
+            )
 
         forward, forward_witness = self._contained(left_pairs, right_pairs)
         backward, backward_witness = self._contained(right_pairs, left_pairs)
@@ -175,10 +312,12 @@ class EquivalenceChecker:
                 return EquivalenceVerdict(
                     VERIFIED,
                     "set-equivalent and both sides are duplicate-free",
+                    reason_code=Reason.VERIFIED_SET,
                 )
             return EquivalenceVerdict(
                 UNKNOWN,
                 "set-equivalent, but duplicate multiplicities are not provably equal",
+                reason_code=Reason.UNPROVEN_MULTIPLICITY,
             )
 
         for direction, state, witness in (
@@ -192,22 +331,207 @@ class EquivalenceChecker:
                     return verdict
 
         if "budget" in (forward, backward):
-            return EquivalenceVerdict(UNKNOWN, "homomorphism budget exhausted")
+            return EquivalenceVerdict(
+                UNKNOWN,
+                "homomorphism budget exhausted",
+                reason_code=Reason.BUDGET_HOM,
+            )
         return EquivalenceVerdict(
-            UNKNOWN, "containment not provable from the declared dependencies"
+            UNKNOWN,
+            "containment not provable from the declared dependencies",
+            reason_code=Reason.UNPROVEN_AGGREGATE
+            if has_derived
+            else Reason.UNPROVEN_CONTAINMENT,
         )
 
-    def _chase_disjuncts(self, query):
+    # -- derived (aggregate) relations ---------------------------------------
+
+    def _canonize_derived(self, queries):
+        """Rename derived symbols to equivalence-class-canonical names.
+
+        Two specs land in the same class when their aggregate outputs
+        coincide and their grouping cores are provably equivalent; after
+        the rename, equivalent aggregations on the two sides share a
+        relation symbol and ordinary homomorphisms line them up.
+        """
+        representatives = []
+
+        def class_of(spec):
+            for index, representative in enumerate(representatives):
+                if self._specs_match(representative, spec):
+                    return index
+            representatives.append(spec)
+            return len(representatives) - 1
+
+        out = []
+        for query in queries:
+            disjuncts = []
+            for tableau in query.disjuncts:
+                if not tableau.derived:
+                    disjuncts.append(tableau)
+                    continue
+                rename = {
+                    symbol: "~agg!%d" % class_of(spec)
+                    for symbol, spec in tableau.derived.items()
+                }
+                disjuncts.append(
+                    replace(
+                        tableau,
+                        atoms=tuple(
+                            Atom(
+                                rename.get(atom.relation, atom.relation),
+                                atom.terms,
+                                atom.existential,
+                            )
+                            for atom in tableau.atoms
+                        ),
+                        derived={
+                            rename[symbol]: spec
+                            for symbol, spec in tableau.derived.items()
+                        },
+                    )
+                )
+            out.append(replace(query, disjuncts=disjuncts))
+        return out
+
+    def _specs_match(self, left, right):
+        if left.group_arity != right.group_arity:
+            return False
+        if left.outputs != right.outputs:
+            return False
+        return self._cores_equivalent(
+            left.core, right.core, _spec_needs_bag(left)
+        )
+
+    def _cores_equivalent(self, left, right, need_bag):
+        """Are two grouping cores equivalent queries?
+
+        Bag equivalence (isomorphism of chased bag-exact cores) when a
+        bag-sensitive aggregate consumes them, set equivalence (mutual
+        containment) otherwise.
+        """
+        pair = self._align_core_pair(left, right)
+        if pair is None:
+            return False
+        left, right = pair
+        if left.unsatisfiable or right.unsatisfiable:
+            return left.unsatisfiable and right.unsatisfiable
+        deps = self._extended_deps([left, right])
+        left_chased = chase(left, deps, self.budget)
+        right_chased = chase(right, deps, self.budget)
+        if left_chased.unsatisfiable or right_chased.unsatisfiable:
+            return left_chased.unsatisfiable and right_chased.unsatisfiable
+        if need_bag:
+            if not (left.bag_exact and right.bag_exact):
+                return False
+            return (
+                is_isomorphic(left_chased, right_chased, self.budget)
+                == HOM_FOUND
+            )
+        forward, _ = find_homomorphism(left, right_chased, self.budget)
+        backward, _ = find_homomorphism(right, left_chased, self.budget)
+        return forward == HOM_FOUND and backward == HOM_FOUND
+
+    def _align_core_pair(self, left, right):
+        """Rename ``right``'s nested derived symbols onto matching ones of
+        ``left`` (cores can themselves contain aggregations)."""
+        if not left.derived and not right.derived:
+            return left, right
+        if len(left.derived) != len(right.derived):
+            return None
+        rename = {}
+        taken = set()
+        for left_symbol, left_spec in left.derived.items():
+            match = None
+            for right_symbol, right_spec in right.derived.items():
+                if right_symbol in taken:
+                    continue
+                if self._specs_match(left_spec, right_spec):
+                    match = right_symbol
+                    break
+            if match is None:
+                return None
+            rename[match] = left_symbol
+            taken.add(match)
+        renamed = replace(
+            right,
+            atoms=tuple(
+                Atom(
+                    rename.get(atom.relation, atom.relation),
+                    atom.terms,
+                    atom.existential,
+                )
+                for atom in right.atoms
+            ),
+            derived={
+                rename.get(symbol, symbol): spec
+                for symbol, spec in right.derived.items()
+            },
+        )
+        return left, renamed
+
+    def _extended_deps(self, tableaux):
+        """Base dependencies plus the FDs of every derived relation."""
+        extra = {}
+        for tableau in tableaux:
+            for symbol, spec in tableau.derived.items():
+                fd = _derived_fd(symbol, spec)
+                if fd is not None and symbol not in extra:
+                    extra[symbol] = [fd]
+        if not extra:
+            return self.deps
+        if self.deps is None:
+            return DependencySet(fds=extra, inds={}, repair_inds={}, schemas={})
+        fds = dict(self.deps.fds)
+        fds.update(extra)
+        return DependencySet(
+            fds=fds,
+            inds=self.deps.inds,
+            repair_inds=self.deps.repair_inds,
+            schemas=self.deps.schemas,
+        )
+
+    # -- containment machinery ------------------------------------------------
+
+    def _chase_disjuncts(self, query, deps=None):
         """[(original, chased)] for the satisfiable disjuncts."""
+        deps = deps if deps is not None else self.deps
         pairs = []
         for tableau in query.disjuncts:
             if tableau.unsatisfiable:
                 continue
-            chased = chase(tableau, self.deps, self.budget)
+            chased = chase(tableau, deps, self.budget)
             if chased.unsatisfiable:
                 continue
             pairs.append((tableau, chased))
         return pairs
+
+    def _disjunct_matching(self, left_pairs, right_pairs):
+        """Perfect matching of pairwise-isomorphic chased disjuncts."""
+        size = len(left_pairs)
+        compatible = [
+            [
+                is_isomorphic(left_chased, right_chased, self.budget)
+                == HOM_FOUND
+                for _, right_chased in right_pairs
+            ]
+            for _, left_chased in left_pairs
+        ]
+        taken = [False] * size
+
+        def assign(index):
+            if index == size:
+                return True
+            for candidate in range(size):
+                if taken[candidate] or not compatible[index][candidate]:
+                    continue
+                taken[candidate] = True
+                if assign(index + 1):
+                    return True
+                taken[candidate] = False
+            return False
+
+        return assign(0)
 
     def _contained(self, left_pairs, right_pairs):
         """Is every left disjunct contained in the union of the right side?
@@ -239,12 +563,19 @@ class EquivalenceChecker:
         """Build a counterexample from ``witness`` or return None (UNKNOWN
         stays the verdict).
 
-        Refutation demands certainty: complete chase, no uninterpreted
-        builtins on the witness, and — after repairing the witness with
-        *every* declared FK (nullable ones included) — still no atoms-only
-        homomorphism from any disjunct of the other side.
+        Refutation demands certainty: complete chase; no uninterpreted
+        builtins, interpreted comparisons, or derived atoms on the
+        witness (freezing cannot pick concrete values for those); and —
+        after repairing the witness with *every* declared FK (nullable
+        ones included) — still no atoms-only homomorphism from any
+        disjunct of the other side.
         """
-        if not witness.chase_complete or witness.has_builtins():
+        if (
+            not witness.chase_complete
+            or witness.has_builtins()
+            or witness.comparisons
+            or witness.derived
+        ):
             return None
         repaired = chase(witness, self.deps, self.budget, repair=True)
         if repaired.unsatisfiable or not repaired.chase_complete:
@@ -263,6 +594,7 @@ class EquivalenceChecker:
             "the %s side produces row %r on the frozen counterexample "
             "database; the other side cannot" % (side, counterexample["row"]),
             counterexample=counterexample,
+            reason_code=Reason.REFUTED_COUNTEREXAMPLE,
         )
 
     def _freeze(self, tableau):

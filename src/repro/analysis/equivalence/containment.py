@@ -15,11 +15,37 @@ are not duplicate-free.
 
 from __future__ import annotations
 
+from repro.analysis.equivalence import domains
 from repro.analysis.equivalence.tableau import Builtin, Const
 
 HOM_FOUND = "found"
 HOM_NONE = "none"
 HOM_BUDGET = "budget"
+
+
+def _map_cmp(cmp, mapping):
+    """Image of a comparison fact under a term mapping, or None when a
+    variable side is not covered by the mapping."""
+
+    def side(term):
+        if isinstance(term, domains.Val):
+            return term
+        image = mapping.get(term)
+        if image is None:
+            return None
+        if isinstance(image, Const):
+            return domains.Val(image.value)
+        return image
+
+    left = side(cmp.left)
+    if left is None:
+        return None
+    if cmp.op == "in":
+        return domains.Cmp("in", left, cmp.right)
+    right = side(cmp.right)
+    if right is None:
+        return None
+    return domains.Cmp(cmp.op, left, right)
 
 
 class _Budget(Exception):
@@ -60,6 +86,11 @@ def _bind(mapping, inverse, src_term, dst_term):
         if src_term != dst_term:
             return None
         return added
+    if inverse is not None and isinstance(dst_term, Const):
+        # An isomorphism renames variables onto variables; a variable
+        # landing on a constant means one side is strictly more
+        # constrained (e.g. an extra literal filter), not equivalent.
+        return None
     bound = mapping.get(src_term)
     if bound is not None:
         if bound != dst_term:
@@ -114,12 +145,27 @@ def find_homomorphism(src, dst, budget, atoms_only=False, require_iso=False):
     dst_builtins = set(dst.builtins)
     dst_nonnull = effective_nonnull(dst)
     src_nonnull = effective_nonnull(src) if require_iso else src.nonnull
+    # Interpreted comparison facts: containment needs the target to *imply*
+    # each mapped source fact, not to carry a syntactically equal copy.
+    dst_system = domains.system_of(dst.comparisons)
+    src_system = domains.system_of(src.comparisons) if require_iso else None
     used = set()
     nodes = [0]
 
     def check_obligations():
         if atoms_only:
             return True
+        for cmp in src.comparisons:
+            image = _map_cmp(cmp, mapping)
+            if image is None or not dst_system.implies(image):
+                return False
+        if require_iso:
+            # Mutual implication: the two predicate sets must be logically
+            # equivalent, else multiplicity-preserving equality fails.
+            for cmp in dst.comparisons:
+                image = _map_cmp(cmp, inverse)
+                if image is None or not src_system.implies(image):
+                    return False
         for builtin in src.builtins:
             image = []
             for term in builtin.terms:
@@ -154,13 +200,20 @@ def find_homomorphism(src, dst, budget, atoms_only=False, require_iso=False):
             }
             if images != dst_builtins:
                 return False
+            # Constants are trivially non-null (a NULL constant is caught
+            # as unsatisfiable upstream); only *variable* obligations say
+            # anything about the row set, so only they must coincide.
             mapped_nonnull = set()
             for term in src_nonnull:
                 image = term if isinstance(term, Const) else mapping.get(term)
                 if image is None:
                     return False
-                mapped_nonnull.add(image)
-            if mapped_nonnull != dst_nonnull:
+                if not isinstance(image, Const):
+                    mapped_nonnull.add(image)
+            dst_var_nonnull = {
+                term for term in dst_nonnull if not isinstance(term, Const)
+            }
+            if mapped_nonnull != dst_var_nonnull:
                 return False
         return True
 

@@ -1,0 +1,771 @@
+"""Interpreted comparison domain: ordering/interval reasoning.
+
+The chase machinery treats most predicates as uninterpreted builtins, but
+the comparison family — ``<, <=, =, <>, >, >=`` plus the desugared forms
+of ``BETWEEN`` (a ``>=``/``<=`` pair) and ``IN`` (an OR-chain of
+equalities) — has decidable structure worth interpreting:
+
+* **implication** — containment no longer demands syntactic builtin
+  equality: a tableau constrained by ``x > 100`` maps into one
+  constrained by ``x >= 100`` (see
+  :mod:`repro.analysis.equivalence.containment`);
+* **unsatisfiability** — contradictory ranges (``x < 3 AND x > 7``)
+  prove a block empty, which the checker turns into a verified-empty
+  disjunct and the dead-code pass surfaces as ``QGM604``.
+
+The abstract element per term is an interval with strict/inclusive end
+points, an optional finite *allowed* set (from ``IN``), and an excluded
+set (from ``<>``); term-to-term ordering edges are closed transitively
+and propagate constant bounds. Everything here is deliberately
+conservative: ``implies`` returns ``False`` and ``unsatisfiable`` stays
+``False`` whenever values are incomparable (mixed type families, NULL)
+or a fact does not fit the domain — never the unsound direction.
+
+Two client layers share the machinery:
+
+* the tableau layer stores :class:`Cmp` facts whose sides are tableau
+  terms (:class:`Val` wraps constants);
+* :func:`facts_from_predicates` lifts the same reasoning to raw QGM
+  predicates, keyed by ``(id(quantifier), column)`` — that is what
+  ``deadcode.py`` (QGM604), ``equivalence_checks.py`` (QGM605) and the
+  :class:`~repro.optimizer.cardinality.CardinalityEstimator` consume
+  without canonicalizing anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.qgm import expr as qe
+
+#: Sentinel distinct from every value (including None).
+_NO_VALUE = object()
+
+
+@dataclass(frozen=True)
+class Val:
+    """A constant operand of a comparison (``None`` is SQL NULL)."""
+
+    value: object
+
+    def __repr__(self):
+        return "v(%r)" % (self.value,)
+
+
+@dataclass(frozen=True)
+class Cmp:
+    """One normalized comparison fact.
+
+    ``op`` is one of ``<``, ``<=``, ``<>`` or ``in``. ``>``/``>=`` are
+    normalized away by swapping sides. For ``in``, ``right`` is a tuple
+    of plain (hashable) values, not terms.
+    """
+
+    op: str
+    left: object
+    right: object
+
+    def __repr__(self):
+        return "{%r %s %r}" % (self.left, self.op, self.right)
+
+
+def _family(value):
+    """Type family for comparability ('num', 'str', or None)."""
+    if isinstance(value, bool):
+        return "num"
+    if isinstance(value, (int, float)):
+        return "num"
+    if isinstance(value, str):
+        return "str"
+    return None
+
+
+def _compare(left, right):
+    """-1/0/1 when comparable, None otherwise (NULL, mixed families)."""
+    if left is None or right is None:
+        return None
+    fam = _family(left)
+    if fam is None or fam != _family(right):
+        return None
+    if left < right:
+        return -1
+    if left > right:
+        return 1
+    return 0
+
+
+def comparison_cmps(op, left, right):
+    """Normalize a binary comparison into :class:`Cmp` facts, or None
+    when ``op`` is not an order/inequality comparison."""
+    if op == "<":
+        return [Cmp("<", left, right)]
+    if op == ">":
+        return [Cmp("<", right, left)]
+    if op == "<=":
+        return [Cmp("<=", left, right)]
+    if op == ">=":
+        return [Cmp("<=", right, left)]
+    if op in ("<>", "!="):
+        return [Cmp("<>", left, right)]
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Per-term abstract element
+# ---------------------------------------------------------------------------
+
+
+class _Range:
+    """Interval + finite allowed set + excluded values for one term."""
+
+    __slots__ = ("lo", "lo_strict", "hi", "hi_strict", "allowed", "excluded")
+
+    def __init__(self):
+        self.lo = _NO_VALUE
+        self.lo_strict = False
+        self.hi = _NO_VALUE
+        self.hi_strict = False
+        self.allowed: Optional[Set] = None
+        self.excluded: Set = set()
+
+    # -- tightening (conservative: incomparable facts are dropped) ----------
+
+    def tighten_lo(self, value, strict):
+        if self.lo is _NO_VALUE:
+            self.lo, self.lo_strict = value, strict
+            return True
+        order = _compare(value, self.lo)
+        if order is None:
+            return False
+        if order > 0 or (order == 0 and strict and not self.lo_strict):
+            self.lo, self.lo_strict = value, strict or (
+                order == 0 and self.lo_strict
+            )
+            return True
+        return False
+
+    def tighten_hi(self, value, strict):
+        if self.hi is _NO_VALUE:
+            self.hi, self.hi_strict = value, strict
+            return True
+        order = _compare(value, self.hi)
+        if order is None:
+            return False
+        if order < 0 or (order == 0 and strict and not self.hi_strict):
+            self.hi, self.hi_strict = value, strict or (
+                order == 0 and self.hi_strict
+            )
+            return True
+        return False
+
+    def restrict_allowed(self, values):
+        if self.allowed is None:
+            self.allowed = set(values)
+        else:
+            self.allowed &= set(values)
+
+    def exclude(self, value):
+        self.excluded.add(value)
+
+    # -- queries ------------------------------------------------------------
+
+    def _in_bounds(self, value):
+        """False only when the bounds *provably* exclude ``value``."""
+        if self.lo is not _NO_VALUE:
+            order = _compare(value, self.lo)
+            if order is not None and (order < 0 or (order == 0 and self.lo_strict)):
+                return False
+        if self.hi is not _NO_VALUE:
+            order = _compare(value, self.hi)
+            if order is not None and (order > 0 or (order == 0 and self.hi_strict)):
+                return False
+        return True
+
+    def effective_allowed(self) -> Optional[FrozenSet]:
+        if self.allowed is None:
+            return None
+        return frozenset(
+            value
+            for value in self.allowed
+            if value not in self.excluded and self._in_bounds(value)
+        )
+
+    def empty(self):
+        effective = self.effective_allowed()
+        if effective is not None:
+            return not effective
+        if self.lo is not _NO_VALUE and self.hi is not _NO_VALUE:
+            order = _compare(self.lo, self.hi)
+            if order is not None:
+                if order > 0:
+                    return True
+                if order == 0 and (self.lo_strict or self.hi_strict):
+                    return True
+                if order == 0 and self.lo in self.excluded:
+                    return True
+        return False
+
+    def pinned(self):
+        """The single value this range admits, or the sentinel."""
+        effective = self.effective_allowed()
+        if effective is not None:
+            if len(effective) == 1:
+                return next(iter(effective))
+            return _NO_VALUE
+        if (
+            self.lo is not _NO_VALUE
+            and self.hi is not _NO_VALUE
+            and not self.lo_strict
+            and not self.hi_strict
+            and _compare(self.lo, self.hi) == 0
+            and self.lo not in self.excluded
+        ):
+            return self.lo
+        return _NO_VALUE
+
+    def always_lt(self, value, or_equal=False):
+        """Every admitted x satisfies ``x < value`` (or ``<=``)."""
+        effective = self.effective_allowed()
+        if effective is not None:
+            return all(
+                (lambda o: o is not None and (o < 0 or (o == 0 and or_equal)))(
+                    _compare(v, value)
+                )
+                for v in effective
+            )
+        if self.hi is _NO_VALUE:
+            return False
+        order = _compare(self.hi, value)
+        if order is None:
+            return False
+        if order < 0:
+            return True
+        return order == 0 and (self.hi_strict or or_equal)
+
+    def always_gt(self, value, or_equal=False):
+        """Every admitted x satisfies ``x > value`` (or ``>=``)."""
+        effective = self.effective_allowed()
+        if effective is not None:
+            return all(
+                (lambda o: o is not None and (o > 0 or (o == 0 and or_equal)))(
+                    _compare(v, value)
+                )
+                for v in effective
+            )
+        if self.lo is _NO_VALUE:
+            return False
+        order = _compare(self.lo, value)
+        if order is None:
+            return False
+        if order > 0:
+            return True
+        return order == 0 and (self.lo_strict or or_equal)
+
+    def never_equals(self, value):
+        effective = self.effective_allowed()
+        if effective is not None:
+            return value not in effective
+        if value in self.excluded:
+            return True
+        return self.always_lt(value) or self.always_gt(value)
+
+    def subset_of(self, values):
+        effective = self.effective_allowed()
+        if effective is not None:
+            return effective <= set(values)
+        pin = self.pinned()
+        return pin is not _NO_VALUE and pin in set(values)
+
+
+# ---------------------------------------------------------------------------
+# The system: many terms, ordering edges, closure
+# ---------------------------------------------------------------------------
+
+
+class ComparisonSystem:
+    """A conjunction of :class:`Cmp` facts with decision helpers."""
+
+    #: Safety cap on closure iterations (each pass only tightens).
+    _MAX_PASSES = 32
+
+    def __init__(self):
+        self._ranges: Dict[object, _Range] = {}
+        self._edges: Dict[Tuple[object, object], bool] = {}  # (a,b) -> strict: a<b
+        self._neq: Set[FrozenSet] = set()
+        self._unsat = False
+        self._solved = False
+
+    # -- construction -------------------------------------------------------
+
+    def _range(self, term) -> _Range:
+        rng = self._ranges.get(term)
+        if rng is None:
+            rng = self._ranges[term] = _Range()
+        return rng
+
+    def add(self, cmp: Cmp):
+        self._solved = False
+        op, left, right = cmp.op, cmp.left, cmp.right
+        if op == "in":
+            values = tuple(v for v in right if v is not None)
+            if isinstance(left, Val):
+                if left.value is None or left.value not in values:
+                    self._unsat = True
+                return
+            if not values:
+                self._unsat = True
+                return
+            self._range(left).restrict_allowed(values)
+            return
+        lconst = isinstance(left, Val)
+        rconst = isinstance(right, Val)
+        if (lconst and left.value is None) or (rconst and right.value is None):
+            # A comparison with NULL is never true: the conjunction is empty.
+            self._unsat = True
+            return
+        if op in ("<", "<="):
+            strict = op == "<"
+            if lconst and rconst:
+                order = _compare(left.value, right.value)
+                if order is not None and (order > 0 or (order == 0 and strict)):
+                    self._unsat = True
+                return
+            if lconst:
+                self._range(right).tighten_lo(left.value, strict)
+                return
+            if rconst:
+                self._range(left).tighten_hi(right.value, strict)
+                return
+            if left == right:
+                if strict:
+                    self._unsat = True
+                return
+            key = (left, right)
+            self._edges[key] = self._edges.get(key, False) or strict
+            return
+        if op == "<>":
+            if lconst and rconst:
+                if left.value == right.value:
+                    self._unsat = True
+                return
+            if lconst:
+                self._range(right).exclude(left.value)
+                return
+            if rconst:
+                self._range(left).exclude(right.value)
+                return
+            if left == right:
+                self._unsat = True
+                return
+            self._neq.add(frozenset((left, right)))
+
+    # -- closure -------------------------------------------------------------
+
+    def _solve(self):
+        if self._solved:
+            return
+        self._solved = True
+        if self._unsat:
+            return
+        # Transitive closure of the ordering edges (strictness ORs through).
+        terms = set()
+        for a, b in self._edges:
+            terms.add(a)
+            terms.add(b)
+        changed = True
+        while changed:
+            changed = False
+            for (a, b), s1 in list(self._edges.items()):
+                for (c, d), s2 in list(self._edges.items()):
+                    if b != c:
+                        continue
+                    strict = s1 or s2
+                    prior = self._edges.get((a, d))
+                    if prior is None or (strict and not prior):
+                        self._edges[(a, d)] = strict
+                        changed = True
+        # Constant-bound propagation along edges, to fixpoint.
+        for _ in range(self._MAX_PASSES):
+            moved = False
+            for (a, b), strict in self._edges.items():
+                ra, rb = self._range(a), self._range(b)
+                if rb.hi is not _NO_VALUE:
+                    moved |= ra.tighten_hi(rb.hi, strict or rb.hi_strict)
+                if ra.lo is not _NO_VALUE:
+                    moved |= rb.tighten_lo(ra.lo, strict or ra.lo_strict)
+            if not moved:
+                break
+        # Contradictions.
+        for (a, b), strict in self._edges.items():
+            if a == b and strict:
+                self._unsat = True
+                return
+        for rng in self._ranges.values():
+            if rng.empty():
+                self._unsat = True
+                return
+        for pair in self._neq:
+            if len(pair) != 2:
+                continue
+            a, b = tuple(pair)
+            pa = self._range(a).pinned() if a in self._ranges else _NO_VALUE
+            pb = self._range(b).pinned() if b in self._ranges else _NO_VALUE
+            if pa is not _NO_VALUE and pa == pb:
+                self._unsat = True
+                return
+
+    # -- queries --------------------------------------------------------------
+
+    def unsatisfiable(self):
+        self._solve()
+        return self._unsat
+
+    def _lookup(self, term) -> _Range:
+        return self._ranges.get(term) or _Range()
+
+    def implies(self, cmp: Cmp) -> bool:
+        """Does this conjunction entail ``cmp``? (False = don't know.)"""
+        self._solve()
+        if self._unsat:
+            return True
+        op, left, right = cmp.op, cmp.left, cmp.right
+        if op == "in":
+            values = tuple(v for v in right if v is not None)
+            if isinstance(left, Val):
+                return left.value is not None and left.value in values
+            return self._lookup(left).subset_of(values)
+        lconst = isinstance(left, Val)
+        rconst = isinstance(right, Val)
+        if (lconst and left.value is None) or (rconst and right.value is None):
+            return False
+        if op in ("<", "<="):
+            or_equal = op == "<="
+            if lconst and rconst:
+                order = _compare(left.value, right.value)
+                return order is not None and (
+                    order < 0 or (order == 0 and or_equal)
+                )
+            if lconst:
+                return self._lookup(right).always_gt(left.value, or_equal)
+            if rconst:
+                return self._lookup(left).always_lt(right.value, or_equal)
+            if left == right:
+                return or_equal
+            edge = self._edges.get((left, right))
+            if edge is not None and (or_equal or edge):
+                return True
+            return self._separated(left, right, or_equal)
+        if op == "<>":
+            if lconst and rconst:
+                return left.value != right.value
+            if lconst:
+                return self._lookup(right).never_equals(left.value)
+            if rconst:
+                return self._lookup(left).never_equals(right.value)
+            if left == right:
+                return False
+            if frozenset((left, right)) in self._neq:
+                return True
+            if self._edges.get((left, right)) or self._edges.get((right, left)):
+                return True
+            return self._separated(left, right, False) or self._separated(
+                right, left, False
+            )
+        if op == "=":
+            if lconst and rconst:
+                return (
+                    left.value is not None
+                    and _compare(left.value, right.value) == 0
+                )
+            if lconst or rconst:
+                value = left.value if lconst else right.value
+                term = right if lconst else left
+                pin = self._lookup(term).pinned()
+                return pin is not _NO_VALUE and _compare(pin, value) == 0
+            return left == right
+        return False
+
+    def _separated(self, left, right, or_equal):
+        """left's upper bound sits below right's lower bound."""
+        rl, rr = self._lookup(left), self._lookup(right)
+        if rl.hi is _NO_VALUE or rr.lo is _NO_VALUE:
+            return False
+        order = _compare(rl.hi, rr.lo)
+        if order is None:
+            return False
+        if order < 0:
+            return True
+        return order == 0 and (rl.hi_strict or rr.lo_strict or or_equal)
+
+
+def system_of(cmps: Iterable[Cmp]) -> ComparisonSystem:
+    system = ComparisonSystem()
+    for cmp in cmps:
+        system.add(cmp)
+    return system
+
+
+def normalize_cmps(cmps: Iterable[Cmp]):
+    """Evaluate constant-only facts and deduplicate.
+
+    Returns ``(kept, unsat)`` — ``kept`` drops facts that are trivially
+    true and keeps everything else in first-seen order; ``unsat`` is True
+    when some fact is provably false (including comparisons with NULL).
+    """
+    kept = {}
+    unsat = False
+    for cmp in cmps:
+        op, left, right = cmp.op, cmp.left, cmp.right
+        if op == "in":
+            values = tuple(v for v in right if v is not None)
+            if isinstance(left, Val):
+                if left.value is None or left.value not in values:
+                    unsat = True
+                continue
+            if not values:
+                unsat = True
+                continue
+            kept.setdefault(Cmp("in", left, values))
+            continue
+        lconst = isinstance(left, Val)
+        rconst = isinstance(right, Val)
+        if (lconst and left.value is None) or (rconst and right.value is None):
+            unsat = True
+            continue
+        if lconst and rconst:
+            order = _compare(left.value, right.value)
+            if order is None:
+                if op == "<>" and left.value != right.value:
+                    continue  # cross-family values are simply unequal
+                kept.setdefault(cmp)
+                continue
+            holds = (
+                order < 0
+                if op == "<"
+                else order <= 0
+                if op == "<="
+                else order != 0
+            )
+            if not holds:
+                unsat = True
+            continue
+        if left == right and not lconst:
+            if op == "<=":
+                continue
+            unsat = True
+            continue
+        kept.setdefault(cmp)
+    return tuple(kept), unsat
+
+
+# ---------------------------------------------------------------------------
+# QGM-predicate layer
+# ---------------------------------------------------------------------------
+
+
+def membership(conjunct):
+    """Recognize the desugared ``IN`` form: an OR-chain of equalities of
+    one common operand against literals. Returns ``(operand, values)`` or
+    None."""
+    if not (isinstance(conjunct, qe.QBinary) and conjunct.op == "OR"):
+        return None
+    arms: List[qe.QExpr] = []
+    stack = [conjunct]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, qe.QBinary) and node.op == "OR":
+            stack.append(node.left)
+            stack.append(node.right)
+        else:
+            arms.append(node)
+    operand = None
+    values = []
+    for arm in arms:
+        if not (isinstance(arm, qe.QBinary) and arm.op == "="):
+            return None
+        if isinstance(arm.right, qe.QLiteral):
+            side, literal = arm.left, arm.right
+        elif isinstance(arm.left, qe.QLiteral):
+            side, literal = arm.right, arm.left
+        else:
+            return None
+        if operand is None:
+            operand = side
+        elif not qe.expr_equal(operand, side):
+            return None
+        values.append(literal.value)
+    if operand is None:
+        return None
+    return operand, tuple(values)
+
+
+class PredicateFacts:
+    """Interval facts over the simple conjuncts of QGM predicates.
+
+    Terms are ``(id(quantifier), lowered column)`` keys; simple
+    equalities fold through a union-find (constants win) exactly like
+    tableau canonicalization, so ``a.x = b.y AND b.y > 3`` constrains
+    both columns.
+    """
+
+    def __init__(self):
+        self.system = ComparisonSystem()
+        self._parent: Dict[object, object] = {}
+        self._contradiction = False
+        self._raw: List[Cmp] = []
+
+    # -- union-find (Val representatives win) -------------------------------
+
+    def _find(self, term):
+        root = term
+        while root in self._parent:
+            root = self._parent[root]
+        while term in self._parent:
+            self._parent[term], term = root, self._parent[term]
+        return root
+
+    def _union(self, left, right):
+        left, right = self._find(left), self._find(right)
+        if left == right:
+            return
+        if isinstance(left, Val) and isinstance(right, Val):
+            if left.value != right.value:
+                self._contradiction = True
+            return
+        if isinstance(right, Val):
+            left, right = right, left
+        self._parent[right] = left
+
+    # -- construction --------------------------------------------------------
+
+    @staticmethod
+    def _simple(expr):
+        if isinstance(expr, qe.QColRef):
+            return (id(expr.quantifier), expr.column.lower())
+        if isinstance(expr, qe.QLiteral):
+            return Val(expr.value)
+        return None
+
+    def absorb(self, conjunct):
+        if isinstance(conjunct, qe.QBinary) and conjunct.op == "=":
+            left = self._simple(conjunct.left)
+            right = self._simple(conjunct.right)
+            if left is None or right is None:
+                return
+            if (isinstance(left, Val) and left.value is None) or (
+                isinstance(right, Val) and right.value is None
+            ):
+                self._contradiction = True
+                return
+            self._union(left, right)
+            return
+        for cmp in self._conjunct_cmps(conjunct) or ():
+            self._raw.append(cmp)
+
+    def _conjunct_cmps(self, conjunct):
+        """Parse one conjunct into raw :class:`Cmp` facts (or None)."""
+        if isinstance(conjunct, qe.QBinary) and conjunct.op in (
+            "<", "<=", ">", ">=", "<>", "!=",
+        ):
+            left = self._simple(conjunct.left)
+            right = self._simple(conjunct.right)
+            if left is None or right is None:
+                return None
+            return comparison_cmps(conjunct.op, left, right)
+        member = membership(conjunct)
+        if member is not None:
+            operand, values = member
+            side = self._simple(operand)
+            if side is None:
+                return None
+            return [Cmp("in", side, values)]
+        return None
+
+    def _resolved(self, cmp):
+        if cmp.op == "in":
+            return Cmp("in", self._find(cmp.left), cmp.right)
+        return Cmp(cmp.op, self._find(cmp.left), self._find(cmp.right))
+
+    def seal(self):
+        for cmp in self._raw:
+            self.system.add(self._resolved(cmp))
+        self._raw = []
+        return self
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def unsatisfiable(self):
+        return self._contradiction or self.system.unsatisfiable()
+
+    def implies(self, conjunct) -> Optional[bool]:
+        """True/False when ``conjunct`` is an interval-domain conjunct,
+        None when it is out of domain (not a simple comparison)."""
+        cmps = self._conjunct_cmps(conjunct)
+        if cmps is None:
+            return None
+        return all(self.system.implies(self._resolved(cmp)) for cmp in cmps)
+
+
+def facts_from_conjuncts(conjuncts) -> PredicateFacts:
+    facts = PredicateFacts()
+    for conjunct in conjuncts:
+        facts.absorb(conjunct)
+    return facts.seal()
+
+
+def facts_from_predicates(predicates) -> PredicateFacts:
+    return facts_from_conjuncts(
+        [c for p in predicates for c in qe.conjuncts(p)]
+    )
+
+
+def predicates_unsatisfiable(predicates) -> bool:
+    """True when the conjunction of ``predicates`` provably admits no
+    row (contradictory ranges / memberships / equalities)."""
+    return facts_from_predicates(predicates).unsatisfiable
+
+
+def is_interval_conjunct(conjunct) -> bool:
+    """A non-equality comparison or a desugared IN — the conjuncts the
+    QGM605 implied-comparison diagnostic considers."""
+    if isinstance(conjunct, qe.QBinary) and conjunct.op in (
+        "<", "<=", ">", ">=", "<>", "!=",
+    ):
+        return True
+    return membership(conjunct) is not None
+
+
+def implied_comparisons(predicates):
+    """Conjuncts of ``predicates`` that are non-equality comparisons
+    already implied by the *other* conjuncts' interval facts."""
+    all_conjuncts = [c for p in predicates for c in qe.conjuncts(p)]
+    implied = []
+    for index, conjunct in enumerate(all_conjuncts):
+        if not is_interval_conjunct(conjunct):
+            continue
+        rest = all_conjuncts[:index] + all_conjuncts[index + 1:]
+        facts = facts_from_conjuncts(rest)
+        if facts.unsatisfiable:
+            continue  # QGM604 territory: the box is empty, not redundant
+        if facts.implies(conjunct):
+            implied.append(conjunct)
+    return implied
+
+
+__all__ = [
+    "Cmp",
+    "ComparisonSystem",
+    "PredicateFacts",
+    "Val",
+    "comparison_cmps",
+    "facts_from_conjuncts",
+    "facts_from_predicates",
+    "implied_comparisons",
+    "is_interval_conjunct",
+    "membership",
+    "normalize_cmps",
+    "predicates_unsatisfiable",
+    "system_of",
+]

@@ -1,0 +1,69 @@
+"""Stable machine-readable reason codes for equivalence verdicts.
+
+Every :class:`~repro.analysis.equivalence.checker.EquivalenceVerdict`
+carries one of these codes in ``reason_code`` next to the free-form
+``detail`` string, so the translation-validation sweep can aggregate a
+per-rule × per-reason histogram without parsing prose. The strings are a
+stable contract: CI trending and the ``--json`` output key on them.
+
+Naming scheme:
+
+* ``fragment:*`` — the region could not be canonicalized (the named
+  feature is outside the supported fragment). Attached to
+  :class:`~repro.analysis.equivalence.tableau.CannotCanonicalize`.
+* ``budget:*`` — a deterministic resource cap was hit mid-proof.
+* ``unproven:*`` — canonicalization succeeded but neither equivalence
+  nor a counterexample could be established.
+* ``verified:*`` / ``refuted:*`` — which argument produced the definite
+  verdict.
+"""
+
+from __future__ import annotations
+
+
+class Reason:
+    """Namespace of stable reason codes (plain strings)."""
+
+    # -- UNKNOWN: out of fragment ------------------------------------------
+    FRAGMENT_MAGIC = "fragment:magic"
+    FRAGMENT_GROUPBY = "fragment:groupby"
+    FRAGMENT_OUTERJOIN = "fragment:outerjoin"
+    FRAGMENT_SETOP = "fragment:setop"
+    FRAGMENT_SUBQUERY = "fragment:subquery"
+    FRAGMENT_CORRELATION = "fragment:correlation"
+    FRAGMENT_PARAMETER = "fragment:parameter"
+    FRAGMENT_EXPRESSION = "fragment:expression"
+    FRAGMENT_LIMIT = "fragment:limit"
+    FRAGMENT_UNION = "fragment:union"
+    FRAGMENT_SCHEMA = "fragment:schema"
+    FRAGMENT_OTHER = "fragment:other"
+
+    # -- UNKNOWN: in fragment, no proof ------------------------------------
+    BUDGET_HOM = "budget:homomorphism"
+    UNPROVEN_CONTAINMENT = "unproven:containment"
+    UNPROVEN_MULTIPLICITY = "unproven:multiplicity"
+    UNPROVEN_AGGREGATE = "unproven:aggregate-core"
+    UNPROVEN_SCOPE = "unproven:scoped-region"
+
+    # -- VERIFIED ----------------------------------------------------------
+    VERIFIED_EMPTY = "verified:both-empty"
+    VERIFIED_ISO = "verified:bag-isomorphic"
+    VERIFIED_DISJUNCTS = "verified:disjunct-isomorphic"
+    VERIFIED_SET = "verified:set-equal"
+    VERIFIED_SCOPED = "verified:scoped-region"
+    VERIFIED_UNCHANGED = "verified:unchanged"
+
+    # -- REFUTED -----------------------------------------------------------
+    REFUTED_ARITY = "refuted:arity"
+    REFUTED_COUNTEREXAMPLE = "refuted:counterexample"
+
+
+#: Every code, for registry-style tests.
+ALL_REASON_CODES = tuple(
+    value
+    for name, value in sorted(vars(Reason).items())
+    if not name.startswith("_")
+)
+
+
+__all__ = ["ALL_REASON_CODES", "Reason"]

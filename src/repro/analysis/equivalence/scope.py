@@ -1,0 +1,168 @@
+"""Scoped (region-cut) translation validation.
+
+Whole-graph canonicalization bails on any graph containing a magic
+region, which makes every EMST-era firing UNKNOWN even when the rewrite
+only touched a small self-contained subtree. This module rescues those
+verdicts: diff the before/after graphs box-by-box (boxes keep their
+``box_id`` across the pre-firing snapshot), find the smallest common
+enclosing box whose quantifier-reachable region contains every change,
+and compare just that region as a standalone query with
+``allow_special=True`` (magic and supplementary boxes canonicalize like
+ordinary ones there).
+
+Soundness: if region R (rooted at box b, same ``box_id`` on both sides)
+satisfies
+
+* every changed, added, or removed box lies inside R,
+* no box outside R ranges over a box of R other than b itself, and
+* b exposes the same output columns (names, order) on both sides,
+
+then the rest of the graph is structurally identical and consumes the
+region only through b's output — so equivalence of the two regions as
+standalone queries implies equivalence of the whole graphs. A *bag*
+verdict on the region is required unless the region is duplicate-free,
+and the graph must carry no LIMIT (a bag-equal region under LIMIT could
+still change which rows survive; ORDER BY alone is presentation-order
+and row-set-preserving).
+
+A scoped REFUTED is **not** propagated: inequivalence of one region does
+not imply inequivalence of the graphs (the region may be dead or
+semantically constrained by its inputs), and a false REFUTED would roll
+back a sound firing. Scoped validation only ever upgrades UNKNOWN to
+VERIFIED.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.equivalence.checker import VERIFIED, EquivalenceVerdict
+from repro.analysis.equivalence.reasons import Reason
+
+
+def _box_fingerprint(box):
+    """Deterministic structural identity of one box (children by box_id)."""
+    return (
+        box.kind,
+        box.distinct,
+        tuple((column.name, repr(column.expr)) for column in box.columns),
+        tuple(
+            (
+                quantifier.qtype,
+                quantifier.is_magic,
+                getattr(quantifier, "decorrelated", False),
+                tuple(repr(p) for p in quantifier.selector_predicates),
+                quantifier.input_box.box_id,
+            )
+            for quantifier in box.quantifiers
+        ),
+        tuple(sorted(repr(p) for p in box.predicates)),
+        tuple(repr(key) for key in box.group_keys),
+        box.table_name,
+        box.magic_role,
+        box.adornment,
+        tuple(sorted((k, repr(v)) for k, v in box.properties.items())),
+        tuple(sorted(m.box_id for m in box.linked_magic)),
+    )
+
+
+def _reachable_ids(box):
+    """box_ids quantifier-reachable from ``box`` (inclusive)."""
+    seen = set()
+    stack = [box]
+    while stack:
+        current = stack.pop()
+        if current.box_id in seen:
+            continue
+        seen.add(current.box_id)
+        for quantifier in current.quantifiers:
+            stack.append(quantifier.input_box)
+    return seen
+
+
+def _region_is_closed(graph, region, root_id):
+    """No box outside ``region`` ranges over a region box except the root."""
+    inner = region - {root_id}
+    for box in graph.boxes():
+        if box.box_id in region:
+            continue
+        for quantifier in box.quantifiers:
+            if quantifier.input_box.box_id in inner:
+                return False
+    return True
+
+
+def scoped_verdict(checker, before, after):
+    """Try to verify a firing by validating only the changed region.
+
+    ``before``/``after`` are whole query graphs; returns a VERIFIED
+    :class:`EquivalenceVerdict` (reason ``verified:scoped-region`` or
+    ``verified:unchanged``) or None when no enclosing region verifies.
+    """
+    if before.limit is not None or after.limit is not None:
+        return None
+    if list(before.order_by) != list(after.order_by):
+        return None
+
+    before_map = {box.box_id: box for box in before.boxes()}
+    after_map = {box.box_id: box for box in after.boxes()}
+
+    changed = set()
+    for box_id in set(before_map) | set(after_map):
+        left = before_map.get(box_id)
+        right = after_map.get(box_id)
+        if left is None or right is None:
+            changed.add(box_id)
+        elif _box_fingerprint(left) != _box_fingerprint(right):
+            changed.add(box_id)
+    if not changed:
+        return EquivalenceVerdict(
+            VERIFIED,
+            "the firing left the graph structurally unchanged",
+            bag=True,
+            reason_code=Reason.VERIFIED_UNCHANGED,
+        )
+
+    candidates = []
+    for box_id in set(before_map) & set(after_map):
+        before_root = before_map[box_id]
+        after_root = after_map[box_id]
+        if [c.name.lower() for c in before_root.columns] != [
+            c.name.lower() for c in after_root.columns
+        ]:
+            continue
+        before_region = _reachable_ids(before_root)
+        after_region = _reachable_ids(after_root)
+        if not (changed & set(before_map)) <= before_region:
+            continue
+        if not (changed & set(after_map)) <= after_region:
+            continue
+        if not _region_is_closed(before, before_region, box_id):
+            continue
+        if not _region_is_closed(after, after_region, box_id):
+            continue
+        candidates.append(
+            (len(before_region) + len(after_region), box_id, before_root, after_root)
+        )
+
+    # Smallest enclosing region first: cheaper and more likely in-fragment.
+    candidates.sort(key=lambda item: (item[0], item[1]))
+    for _, _, before_root, after_root in candidates:
+        verdict = checker._check_canonicalizable(
+            before_root, after_root, whole_graph=False, allow_special=True
+        )
+        if verdict.status != VERIFIED:
+            continue
+        # Any VERIFIED region verdict is bag-safe to substitute: the bag
+        # route proves multiset equality directly, and the set route only
+        # fires for provably duplicate-free sides, where set equality of
+        # the outputs *is* bag equality.
+        return EquivalenceVerdict(
+            VERIFIED,
+            "changed region at box %r verified standalone: %s"
+            % (before_root.name, verdict.detail),
+            bag=verdict.bag,
+            reason_code=Reason.VERIFIED_SCOPED,
+        )
+    return None
+
+
+__all__ = ["scoped_verdict"]

@@ -1,4 +1,4 @@
-"""Chase-backed semantic diagnostics (codes ``QGM602``/``QGM603``).
+"""Chase-backed semantic diagnostics (codes ``QGM602``/``QGM603``/``QGM605``).
 
 Where the ``QGM5xx`` dataflow pass audits what the *graph* claims, this
 pass audits what the *catalog's dependencies* imply, by running the
@@ -14,6 +14,12 @@ over each plain select box:
   other predicates plus the declared keys and foreign keys; the chase of
   the box *without* the predicate equates its two sides anyway. Info:
   harmless, but redundant.
+* ``QGM605`` — a non-equality comparison (``<``, ``<=``, ``>``, ``>=``,
+  ``<>``, or a desugared ``IN``) is already implied by the box's other
+  interval facts under the interpreted comparison domain
+  (:mod:`repro.analysis.equivalence.domains`) — e.g. ``x > 10`` next to
+  ``x >= 20``. Info: harmless, but redundant. Unlike the two above this
+  needs no declared dependencies, so it fires even on a bare catalog.
 
 The trial eliminations clone the graph once per candidate pair, so the
 ``deep`` flag turns them off for the rewrite-soundness pipeline (which
@@ -42,19 +48,36 @@ class EquivalencePass(AnalysisPass):
         self.max_pairs = max_pairs
 
     def run(self, context: AnalysisContext, report: AnalysisReport) -> None:
-        if context.catalog is None:
-            return
-        from repro.analysis.equivalence import EquivalenceChecker
+        checker = None
+        if context.catalog is not None:
+            from repro.analysis.equivalence import EquivalenceChecker
 
-        checker = EquivalenceChecker(context.catalog, budget=self.budget)
-        if checker.deps.is_empty():
-            return
+            checker = EquivalenceChecker(context.catalog, budget=self.budget)
+            if checker.deps.is_empty():
+                checker = None
         for box in context.boxes:
             if box.kind != BoxKind.SELECT or box.is_special:
+                continue
+            self._check_implied_comparisons(box, report)
+            if checker is None:
                 continue
             self._check_implied_predicates(box, checker, report)
             if self.deep:
                 self._check_redundant_joins(box, context, checker, report)
+
+    def _check_implied_comparisons(self, box, report) -> None:
+        from repro.analysis.equivalence import domains
+
+        for conjunct in domains.implied_comparisons(box.predicates):
+            self.emit(
+                report,
+                "QGM605",
+                Severity.INFO,
+                "comparison %s is implied by the box's other interval "
+                "facts" % conjunct,
+                box=box,
+                hint="the predicate can be dropped without changing results",
+            )
 
     def _check_implied_predicates(self, box, checker, report) -> None:
         for predicate in box.predicates:

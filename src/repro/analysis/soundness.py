@@ -121,15 +121,27 @@ class SoundnessChecker:
         if self.equivalence_checker is None or before is None:
             return
         verdict = self.equivalence_checker.check_graphs(before, graph)
+        if verdict.status == "UNKNOWN":
+            # Whole-graph canonicalization bails on magic regions and other
+            # out-of-fragment features; scoped validation compares just the
+            # changed region as a standalone query. It can only upgrade
+            # UNKNOWN to VERIFIED, never introduce a REFUTED.
+            from repro.analysis.equivalence.scope import scoped_verdict
+
+            scoped = scoped_verdict(self.equivalence_checker, before, graph)
+            if scoped is not None:
+                verdict = scoped
         if context is not None:
-            context.record_equivalence(rule_name, verdict.status, verdict.seconds)
+            context.record_equivalence(
+                rule_name, verdict.status, verdict.seconds, verdict.reason_code
+            )
         if verdict.status != "REFUTED":
             return
         diagnostic = Diagnostic(
             code="QGM601",
             severity=Severity.ERROR,
             message="translation validation refuted this firing: %s"
-            % verdict.reason,
+            % verdict.detail,
             box=graph.top_box.name,
             box_id=graph.top_box.box_id,
             pass_name="equivalence",
@@ -140,7 +152,7 @@ class SoundnessChecker:
             context.record_soundness(rule_name, ["QGM601"])
         raise QgmError(
             "rule %r refuted by translation validation: %s"
-            % (rule_name, verdict.reason),
+            % (rule_name, verdict.detail),
             context={
                 "rule": rule_name,
                 "codes": ["QGM601"],

@@ -7,16 +7,24 @@ checking enabled, and reports the per-firing verdicts::
 
     python -m repro.analysis.translation_validate
     python -m repro.analysis.translation_validate --scale 0.05 --verbose
+    python -m repro.analysis.translation_validate --json out.json --min-verified 25
 
 Every rule firing is validated against its pre-firing snapshot:
 
-* ``VERIFIED``  — the chase proved the firing equivalence-preserving.
-* ``UNKNOWN``   — out of the conjunctive fragment or unprovable from the
-  declared dependencies; accepted (the validator never blocks on doubt).
+* ``VERIFIED``  — the chase proved the firing equivalence-preserving
+  (whole-graph, or scoped to the changed region for magic-era firings).
+* ``UNKNOWN``   — out of the fragment or unprovable from the declared
+  dependencies; accepted (the validator never blocks on doubt).
 * ``REFUTED``   — the firing provably changed query meaning on a
   concrete counterexample database. The engine already rolled it back
   and quarantined the rule; this tool additionally **exits 1**, making
   the condition a CI failure.
+
+Each verdict carries a stable machine-readable reason code, so the
+summary includes a per-rule × per-reason histogram and ``--json``
+emits the full breakdown for CI trending. ``--min-verified N`` turns a
+drop of total VERIFIED firings below ``N`` into a nonzero exit — the
+regression gate for the checker's fragment coverage.
 
 The summary is plain markdown (a table of per-query verdict counts), so
 CI can append the output directly to a job summary.
@@ -25,15 +33,39 @@ CI can append the output directly to a job summary.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.resilience.fallback import ResiliencePolicy
+
+_STATUSES = ("VERIFIED", "UNKNOWN", "REFUTED")
+
+
+def _flatten_counts(per_rule):
+    """Nested {rule: {status: {code: n}}} -> flat status totals."""
+    counts = {status: 0 for status in _STATUSES}
+    for statuses in per_rule.values():
+        for status, codes in statuses.items():
+            counts[status] = counts.get(status, 0) + sum(codes.values())
+    return counts
 
 
 def validate_workloads(scale=0.02, strategy="emst"):
     """Run the workloads under paranoid + equivalence; returns a list of
     ``(label, verdict_counts, refuted_rules)`` with ``verdict_counts``
     a dict of VERIFIED/UNKNOWN/REFUTED totals across the query's firings.
+    """
+    return [
+        (label, counts, refuted)
+        for label, counts, refuted, _ in validate_workloads_detailed(
+            scale=scale, strategy=strategy
+        )
+    ]
+
+
+def validate_workloads_detailed(scale=0.02, strategy="emst"):
+    """Like :func:`validate_workloads` but each row also carries the raw
+    nested per-rule verdict breakdown ``{rule: {status: {code: count}}}``.
     """
     from repro.analysis.lint import _workload_targets
     from repro.api import Connection
@@ -52,18 +84,30 @@ def validate_workloads(scale=0.02, strategy="emst"):
                     query, strategy=strategy, resilience=policy
                 )
                 per_rule = outcome.stats.get("equivalence_verdicts", {})
-                counts = {"VERIFIED": 0, "UNKNOWN": 0, "REFUTED": 0}
-                refuted_rules = []
-                for rule_name, statuses in per_rule.items():
-                    for status, count in statuses.items():
-                        counts[status] = counts.get(status, 0) + count
-                    if statuses.get("REFUTED"):
-                        refuted_rules.append(rule_name)
-                results.append((label, counts, sorted(refuted_rules)))
+                counts = _flatten_counts(per_rule)
+                refuted_rules = sorted(
+                    rule_name
+                    for rule_name, statuses in per_rule.items()
+                    if statuses.get("REFUTED")
+                )
+                results.append((label, counts, refuted_rules, per_rule))
         finally:
             for view in script.views:
                 db.catalog.drop_view(view.name)
     return results
+
+
+def _reason_histogram(detailed):
+    """{rule: {status: {code: count}}} aggregated across all queries."""
+    histogram = {}
+    for _, _, _, per_rule in detailed:
+        for rule_name, statuses in per_rule.items():
+            rule_bucket = histogram.setdefault(rule_name, {})
+            for status, codes in statuses.items():
+                status_bucket = rule_bucket.setdefault(status, {})
+                for code, count in codes.items():
+                    status_bucket[code] = status_bucket.get(code, 0) + count
+    return histogram
 
 
 def main(argv=None):
@@ -88,17 +132,34 @@ def main(argv=None):
         action="store_true",
         help="also list queries whose firings were all VERIFIED",
     )
+    parser.add_argument(
+        "--json",
+        metavar="OUT",
+        default=None,
+        help="write the per-query breakdown and the per-rule reason "
+        "histogram to this file as JSON",
+    )
+    parser.add_argument(
+        "--min-verified",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit nonzero when fewer than N firings were VERIFIED "
+        "(fragment-coverage regression gate)",
+    )
     args = parser.parse_args(argv)
 
-    results = validate_workloads(scale=args.scale, strategy=args.strategy)
+    detailed = validate_workloads_detailed(
+        scale=args.scale, strategy=args.strategy
+    )
 
     out = sys.stdout
     out.write("### Translation validation (%s)\n\n" % args.strategy)
     out.write("| Workload query | VERIFIED | UNKNOWN | REFUTED |\n")
     out.write("|---|---|---|---|\n")
-    totals = {"VERIFIED": 0, "UNKNOWN": 0, "REFUTED": 0}
+    totals = {status: 0 for status in _STATUSES}
     refuted_lines = []
-    for label, counts, refuted_rules in results:
+    for label, counts, refuted_rules, _ in detailed:
         for status in totals:
             totals[status] += counts.get(status, 0)
         if args.verbose or counts.get("UNKNOWN") or counts.get("REFUTED"):
@@ -120,6 +181,24 @@ def main(argv=None):
         "| **total** | %d | %d | %d |\n\n"
         % (totals["VERIFIED"], totals["UNKNOWN"], totals["REFUTED"])
     )
+
+    histogram = _reason_histogram(detailed)
+    if histogram:
+        out.write("#### Verdict reasons (per rule)\n\n")
+        out.write("| Rule | Status | Reason | Count |\n")
+        out.write("|---|---|---|---|\n")
+        for rule_name in sorted(histogram):
+            for status in _STATUSES:
+                codes = histogram[rule_name].get(status)
+                if not codes:
+                    continue
+                for code in sorted(codes):
+                    out.write(
+                        "| %s | %s | %s | %d |\n"
+                        % (rule_name, status, code or "unspecified", codes[code])
+                    )
+        out.write("\n")
+
     if totals["UNKNOWN"]:
         out.write(
             "%d firing(s) returned UNKNOWN (out of fragment or not "
@@ -127,14 +206,45 @@ def main(argv=None):
         )
     for line in refuted_lines:
         out.write(line + "\n")
+
+    if args.json:
+        payload = {
+            "strategy": args.strategy,
+            "scale": args.scale,
+            "totals": totals,
+            "queries": [
+                {
+                    "label": label,
+                    "counts": counts,
+                    "refuted_rules": refuted_rules,
+                    "verdicts": per_rule,
+                }
+                for label, counts, refuted_rules, per_rule in detailed
+            ],
+            "rule_reason_histogram": histogram,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        out.write("wrote JSON breakdown to %s\n" % args.json)
+
+    status = 0
     if totals["REFUTED"]:
         out.write(
             "\ntranslation validation FAILED: %d refuted firing(s)\n"
             % totals["REFUTED"]
         )
-        return 1
-    out.write("translation validation passed: no refuted firings.\n")
-    return 0
+        status = 1
+    else:
+        out.write("translation validation passed: no refuted firings.\n")
+    if args.min_verified is not None and totals["VERIFIED"] < args.min_verified:
+        out.write(
+            "translation validation FAILED: %d VERIFIED firing(s), "
+            "--min-verified floor is %d\n"
+            % (totals["VERIFIED"], args.min_verified)
+        )
+        status = 1
+    return status
 
 
 if __name__ == "__main__":

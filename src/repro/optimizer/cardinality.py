@@ -14,6 +14,11 @@ The estimator also consults the interbox dataflow fixpoints
 * ``IS [NOT] NULL`` over a column proven NOT NULL is decided, not guessed;
 * the duplicate-shrink factor of ``DISTINCT`` enforcement is skipped when
   the key analysis proves the output duplicate-free without it.
+
+Predicate lists the interpreted comparison domain
+(:mod:`repro.analysis.equivalence.domains`) proves contradictory — the
+``QGM604`` condition — estimate to exactly 0.0 rows instead of a
+product of selectivities.
 """
 
 from __future__ import annotations
@@ -57,6 +62,7 @@ class CardinalityEstimator:
         self._key_facts = {}
         self._null_facts = {}
         self._dupfree = {}
+        self._contradictory = {}
 
     # -- dataflow facts -------------------------------------------------------
 
@@ -103,6 +109,21 @@ class CardinalityEstimator:
             except Exception:
                 cached = False
             self._dupfree[id(box)] = cached
+        return cached
+
+    def _predicates_contradictory(self, predicates):
+        """True when the interval domain proves ``predicates`` admit no
+        row (memoised per predicate list: DP enumeration re-asks often)."""
+        key = tuple(id(p) for p in predicates)
+        cached = self._contradictory.get(key)
+        if cached is None:
+            from repro.analysis.equivalence import domains
+
+            try:
+                cached = domains.predicates_unsatisfiable(predicates)
+            except Exception:
+                cached = False
+            self._contradictory[key] = cached
         return cached
 
     # -- row counts ---------------------------------------------------------
@@ -193,6 +214,8 @@ class CardinalityEstimator:
         (used both for whole boxes and for DP subsets)."""
         if visiting is None:
             visiting = set()
+        if predicates and self._predicates_contradictory(predicates):
+            return 0.0
         cardinality = 1.0
         available = set(quantifiers)
         for quantifier in quantifiers:

@@ -25,8 +25,10 @@ class RuleContext:
         # rule name -> diagnostic codes the soundness checker attributed to
         # the rule's firings (see repro.analysis.soundness).
         self.soundness_violations = {}
-        # rule name -> {VERIFIED/REFUTED/UNKNOWN: count} from chase-based
-        # translation validation, plus cumulative seconds spent verifying.
+        # rule name -> {VERIFIED/REFUTED/UNKNOWN: {reason_code: count}}
+        # from chase-based translation validation, plus cumulative seconds
+        # spent verifying. Reason codes are the stable strings from
+        # repro.analysis.equivalence.reasons (or "unspecified").
         self.equivalence_verdicts = {}
         self.equivalence_seconds = 0.0
 
@@ -49,9 +51,11 @@ class RuleContext:
     def record_soundness(self, rule_name, codes):
         self.soundness_violations.setdefault(rule_name, []).extend(codes)
 
-    def record_equivalence(self, rule_name, status, seconds=0.0):
+    def record_equivalence(self, rule_name, status, seconds=0.0, reason_code=None):
         per_rule = self.equivalence_verdicts.setdefault(rule_name, {})
-        per_rule[status] = per_rule.get(status, 0) + 1
+        per_status = per_rule.setdefault(status, {})
+        code = reason_code or "unspecified"
+        per_status[code] = per_status.get(code, 0) + 1
         self.equivalence_seconds += seconds
 
     def observability(self):
@@ -66,8 +70,11 @@ class RuleContext:
                 for name, codes in self.soundness_violations.items()
             },
             "equivalence_verdicts": {
-                name: dict(counts)
-                for name, counts in self.equivalence_verdicts.items()
+                name: {
+                    status: dict(codes)
+                    for status, codes in statuses.items()
+                }
+                for name, statuses in self.equivalence_verdicts.items()
             },
             "equivalence_seconds": self.equivalence_seconds,
         }

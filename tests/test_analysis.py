@@ -554,6 +554,26 @@ def _implied_equality(db):
     return equivalence(graph, db)
 
 
+@case("QGM604", Severity.WARNING, box="Q")
+def _contradictory_predicates(db):
+    graph = build(
+        "SELECT e.empno FROM emp e WHERE e.salary > 100 AND e.salary < 50",
+        db,
+    )
+    return Analyzer([DeadCodePass()]).analyze(graph)
+
+
+@case("QGM605", Severity.INFO, box="Q")
+def _implied_comparison(db):
+    # salary >= 200 subsumes salary > 100: the weaker bound is redundant.
+    graph = build(
+        "SELECT e.empno FROM emp e "
+        "WHERE e.salary > 100 AND e.salary >= 200",
+        db,
+    )
+    return equivalence(graph, db)
+
+
 def test_every_registered_code_has_a_case():
     assert set(CASES) == set(CODES)
 

@@ -16,6 +16,7 @@ from repro.analysis.equivalence import (
     CannotCanonicalize,
     ChaseBudget,
     EquivalenceChecker,
+    Reason,
     canonicalize_graph,
     chase,
     dependencies_from_catalog,
@@ -76,7 +77,9 @@ def test_select_canonicalizes_to_one_disjunct(empdept):
     assert query.arity == 2
     tableau = query.disjuncts[0]
     assert {a.relation for a in tableau.atoms} == {"employee", "department"}
-    assert tableau.has_builtins()  # the range predicate
+    # The range predicate is an interpreted comparison, not a builtin.
+    assert not tableau.has_builtins()
+    assert tableau.comparisons
 
 
 def test_union_canonicalizes_per_input(empdept):
@@ -90,14 +93,21 @@ def test_union_canonicalizes_per_input(empdept):
     assert query.duplicate_free  # UNION deduplicates
 
 
-def test_groupby_is_out_of_fragment(empdept):
+def test_groupby_canonicalizes_to_a_derived_atom(empdept):
     graph = build(
         "SELECT e.workdept, AVG(e.salary) FROM employee e "
         "GROUP BY e.workdept",
         empdept,
     )
-    with pytest.raises(CannotCanonicalize):
-        canonicalize_graph(graph)
+    query = canonicalize_graph(graph)
+    assert len(query.disjuncts) == 1
+    tableau = query.disjuncts[0]
+    assert len(tableau.derived) == 1
+    (spec,) = tableau.derived.values()
+    assert spec.group_arity == 1
+    kinds = [output[0] for output in spec.outputs]
+    assert kinds == ["key", "agg"]
+    assert {a.relation for a in spec.core.atoms} == {"employee"}
 
 
 def test_limit_is_out_of_fragment(empdept):
@@ -302,14 +312,24 @@ def test_union_is_order_insensitive(empdept):
     assert verdict.status == VERIFIED
 
 
-def test_aggregates_yield_unknown_not_refuted(empdept):
+def test_identical_aggregates_verify(empdept):
     verdict = verdict_between(
         empdept,
         "SELECT e.workdept, AVG(e.salary) FROM employee e GROUP BY e.workdept",
         "SELECT e.workdept, AVG(e.salary) FROM employee e GROUP BY e.workdept",
     )
+    assert verdict.status == VERIFIED
+
+
+def test_differing_aggregates_stay_unknown_not_refuted(empdept):
+    verdict = verdict_between(
+        empdept,
+        "SELECT e.workdept, AVG(e.salary) FROM employee e GROUP BY e.workdept",
+        "SELECT e.workdept, AVG(e.salary) FROM employee e "
+        "WHERE e.job = 'clerk' GROUP BY e.workdept",
+    )
     assert verdict.status == UNKNOWN
-    assert "side" in verdict.reason
+    assert verdict.reason_code == Reason.UNPROVEN_AGGREGATE
 
 
 def test_exhausted_hom_budget_yields_unknown(empdept):
@@ -344,6 +364,279 @@ def test_checker_counts_verdicts(empdept):
     checker.check_graphs(build(sql, empdept), build(sql, empdept))
     assert checker.counts[VERIFIED] == 1
     assert checker.seconds >= 0.0
+
+
+# -- interpreted comparisons --------------------------------------------------
+
+
+def test_implied_comparison_conjunct_is_verified(empdept):
+    # salary > 100 entails salary > 50, so the extra conjunct is noise.
+    verdict = verdict_between(
+        empdept,
+        "SELECT e.empno FROM employee e WHERE e.salary > 100",
+        "SELECT e.empno FROM employee e "
+        "WHERE e.salary > 100 AND e.salary > 50",
+    )
+    assert verdict.status == VERIFIED
+    assert verdict.bag
+
+
+def test_between_matches_its_desugared_bounds(empdept):
+    verdict = verdict_between(
+        empdept,
+        "SELECT e.empno FROM employee e "
+        "WHERE e.salary BETWEEN 40000 AND 60000",
+        "SELECT e.empno FROM employee e "
+        "WHERE e.salary >= 40000 AND e.salary <= 60000",
+    )
+    assert verdict.status == VERIFIED
+
+
+def test_in_list_is_order_insensitive(empdept):
+    verdict = verdict_between(
+        empdept,
+        "SELECT e.empno FROM employee e WHERE e.job IN ('clerk', 'mgr')",
+        "SELECT e.empno FROM employee e WHERE e.job IN ('mgr', 'clerk')",
+    )
+    assert verdict.status == VERIFIED
+
+
+def test_contradictory_ranges_verify_as_empty(empdept):
+    verdict = verdict_between(
+        empdept,
+        "SELECT e.empno FROM employee e "
+        "WHERE e.salary > 100 AND e.salary < 50",
+        "SELECT e.empno FROM employee e WHERE e.salary < 0 AND e.salary > 0",
+    )
+    assert verdict.status == VERIFIED
+    assert verdict.reason_code == Reason.VERIFIED_EMPTY
+
+
+def test_strict_vs_inclusive_bound_is_unknown_not_refuted(empdept):
+    # x > 100 ⊆ x >= 100 but not conversely; refutation must not fire
+    # either (the frozen counterexample cannot honor interpreted facts).
+    verdict = verdict_between(
+        empdept,
+        "SELECT e.empno FROM employee e WHERE e.salary > 100",
+        "SELECT e.empno FROM employee e WHERE e.salary >= 100",
+    )
+    assert verdict.status == UNKNOWN
+    assert verdict.reason_code == Reason.UNPROVEN_CONTAINMENT
+
+
+# -- outer-join canonicalization ----------------------------------------------
+
+
+def test_null_rejected_left_join_verifies_against_inner(empdept):
+    # The WHERE filter rejects NULL-padded rows, so the LEFT JOIN is an
+    # inner join and both graphs canonicalize to the same tableau.
+    verdict = verdict_between(
+        empdept,
+        "SELECT e.empno, d.deptname FROM employee e "
+        "LEFT JOIN department d ON d.deptno = e.workdept "
+        "WHERE d.budget > 1000",
+        "SELECT e.empno, d.deptname FROM employee e, department d "
+        "WHERE d.deptno = e.workdept AND d.budget > 1000",
+    )
+    assert verdict.status == VERIFIED
+    assert verdict.bag
+
+
+def test_preserved_left_join_expands_into_two_disjuncts(empdept):
+    graph = build(
+        "SELECT e.empno, d.deptname FROM employee e "
+        "LEFT JOIN department d ON d.deptno = e.workdept",
+        empdept,
+    )
+    query = canonicalize_graph(graph)
+    assert len(query.disjuncts) == 2
+    # One disjunct joins both sides; the anti disjunct pads the right
+    # side with NULL constants and carries the no-match marker builtin.
+    joined = [t for t in query.disjuncts if len(t.atoms) == 2]
+    padded = [t for t in query.disjuncts if len(t.atoms) == 1]
+    assert len(joined) == 1 and len(padded) == 1
+    assert any("NOMATCH" in b.skeleton for b in padded[0].builtins)
+
+
+def test_identical_left_joins_verify_via_disjunct_matching(empdept):
+    sql = (
+        "SELECT e.empno, d.deptname FROM employee e "
+        "LEFT JOIN department d ON d.deptno = e.workdept"
+    )
+    verdict = verdict_between(empdept, sql, sql)
+    assert verdict.status == VERIFIED
+    assert verdict.reason_code == Reason.VERIFIED_DISJUNCTS
+
+
+def test_outer_join_expansion_past_budget_is_out_of_fragment(empdept):
+    from repro.analysis.equivalence import canonicalize_box
+
+    graph = build(
+        "SELECT e.empno, d.deptname FROM employee e "
+        "LEFT JOIN department d ON d.deptno = e.workdept",
+        empdept,
+    )
+    with pytest.raises(CannotCanonicalize) as exc:
+        canonicalize_box(graph.top_box, max_disjuncts=1)
+    assert exc.value.code == Reason.FRAGMENT_OUTERJOIN
+
+
+def test_null_rejected_left_join_agrees_with_inner_on_execution(empdept):
+    # Not just symbolic: the verdict above matches the engine's rows.
+    left = build(
+        "SELECT e.empno, d.deptname FROM employee e "
+        "LEFT JOIN department d ON d.deptno = e.workdept "
+        "WHERE d.budget > 1000",
+        empdept,
+    )
+    inner = build(
+        "SELECT e.empno, d.deptname FROM employee e, department d "
+        "WHERE d.deptno = e.workdept AND d.budget > 1000",
+        empdept,
+    )
+    assert sorted(rows_of(left, empdept), key=repr) == sorted(
+        rows_of(inner, empdept), key=repr
+    )
+
+
+# -- reason codes -------------------------------------------------------------
+
+
+def test_all_reason_codes_are_unique_and_namespaced():
+    from repro.analysis.equivalence import ALL_REASON_CODES
+
+    assert len(set(ALL_REASON_CODES)) == len(ALL_REASON_CODES)
+    prefixes = {code.split(":")[0] for code in ALL_REASON_CODES}
+    assert prefixes == {"fragment", "budget", "unproven", "verified", "refuted"}
+
+
+def test_arity_mismatch_is_refuted_with_code(empdept):
+    verdict = verdict_between(
+        empdept,
+        "SELECT e.empno FROM employee e",
+        "SELECT e.empno, e.salary FROM employee e",
+    )
+    assert verdict.status == REFUTED
+    assert verdict.reason_code == Reason.REFUTED_ARITY
+
+
+def test_identical_queries_report_bag_isomorphic_code(empdept):
+    sql = "SELECT e.empno FROM employee e WHERE e.salary > 40000"
+    verdict = verdict_between(empdept, sql, sql)
+    assert verdict.reason_code == Reason.VERIFIED_ISO
+    assert verdict.describe().endswith("[%s]" % Reason.VERIFIED_ISO)
+
+
+def test_set_equality_and_multiplicity_codes(empdept):
+    distinct_pair = (
+        "SELECT DISTINCT e1.workdept FROM employee e1, employee e2 "
+        "WHERE e1.workdept = e2.workdept",
+        "SELECT DISTINCT e.workdept FROM employee e",
+    )
+    verdict = verdict_between(empdept, *distinct_pair)
+    assert verdict.reason_code == Reason.VERIFIED_SET
+    bag_pair = (distinct_pair[0].replace("DISTINCT ", ""),
+                distinct_pair[1].replace("DISTINCT ", ""))
+    verdict = verdict_between(empdept, *bag_pair)
+    assert verdict.status == UNKNOWN
+    assert verdict.reason_code == Reason.UNPROVEN_MULTIPLICITY
+
+
+def test_hom_budget_reason_code(empdept):
+    sql = (
+        "SELECT e1.empno FROM employee e1, employee e2, employee e3 "
+        "WHERE e1.workdept = e2.workdept AND e2.workdept = e3.workdept"
+    )
+    verdict = verdict_between(
+        empdept, sql, sql, budget=ChaseBudget(max_hom_nodes=1)
+    )
+    assert verdict.reason_code == Reason.BUDGET_HOM
+
+
+def test_fragment_codes_from_canonicalization(empdept):
+    from repro.qgm.model import MagicRole
+
+    def code_of(graph):
+        with pytest.raises(CannotCanonicalize) as exc:
+            canonicalize_graph(graph)
+        return exc.value.code
+
+    limited = build("SELECT e.empno FROM employee e", empdept)
+    limited.limit = 5
+    assert code_of(limited) == Reason.FRAGMENT_LIMIT
+
+    assert code_of(build(
+        "SELECT e.empno FROM employee e "
+        "INTERSECT SELECT e2.empno FROM employee e2",
+        empdept,
+    )) == Reason.FRAGMENT_SETOP
+
+    # EXISTS becomes an existential quantifier and stays in fragment;
+    # NOT EXISTS (an ANTI quantifier) does not.
+    canonicalize_graph(build(
+        "SELECT e.empno FROM employee e WHERE EXISTS "
+        "(SELECT d.deptno FROM department d WHERE d.deptno = e.workdept)",
+        empdept,
+    ))
+    assert code_of(build(
+        "SELECT e.empno FROM employee e WHERE NOT EXISTS "
+        "(SELECT d.deptno FROM department d WHERE d.deptno = e.workdept)",
+        empdept,
+    )) == Reason.FRAGMENT_SUBQUERY
+
+    magic = build("SELECT e.empno FROM employee e", empdept)
+    magic.top_box.magic_role = MagicRole.MAGIC
+    assert code_of(magic) == Reason.FRAGMENT_MAGIC
+
+
+def test_allow_special_admits_magic_boxes(empdept):
+    from repro.analysis.equivalence import canonicalize_box
+    from repro.qgm.model import MagicRole
+
+    graph = build("SELECT e.empno FROM employee e", empdept)
+    graph.top_box.magic_role = MagicRole.MAGIC
+    query = canonicalize_box(graph.top_box, allow_special=True)
+    assert len(query.disjuncts) == 1
+
+
+def test_union_width_past_budget_is_out_of_fragment(empdept):
+    from repro.analysis.equivalence import canonicalize_box
+
+    graph = build(
+        "SELECT e.empno FROM employee e "
+        "UNION SELECT d.mgrno FROM department d",
+        empdept,
+    )
+    union = next(b for b in graph.boxes() if b.kind == BoxKind.UNION)
+    with pytest.raises(CannotCanonicalize) as exc:
+        canonicalize_box(union, max_disjuncts=1)
+    assert exc.value.code == Reason.FRAGMENT_UNION
+
+
+def test_checker_reports_fragment_code_in_verdict(empdept):
+    checker = EquivalenceChecker(empdept.catalog)
+    before = build("SELECT e.empno FROM employee e", empdept)
+    after = build("SELECT e.empno FROM employee e", empdept)
+    before.limit = 5
+    after.limit = 5
+    verdict = checker.check_graphs(before, after)
+    assert verdict.status == UNKNOWN
+    assert verdict.reason_code == Reason.FRAGMENT_LIMIT
+    assert "before side" in verdict.detail
+
+
+def test_scoped_validation_detects_unchanged_graphs(empdept):
+    from repro.analysis.equivalence import scoped_verdict
+
+    checker = EquivalenceChecker(empdept.catalog)
+    sql = "SELECT e.empno FROM employee e WHERE e.salary > 40000"
+    verdict = scoped_verdict(
+        checker, build(sql, empdept), build(sql, empdept)
+    )
+    assert verdict is not None
+    assert verdict.status == VERIFIED
+    assert verdict.reason_code == Reason.VERIFIED_UNCHANGED
+    assert verdict.bag
 
 
 # -- FOREIGN KEY DDL surface --------------------------------------------------
@@ -540,7 +833,9 @@ def test_unsound_rule_is_refuted_and_quarantined(empdept):
     # The firing was refuted, rolled back, and the rule quarantined.
     assert "drop-predicate" in policy.quarantine
     assert "QGM601" in context.soundness_violations["drop-predicate"]
-    assert context.equivalence_verdicts["drop-predicate"]["REFUTED"] == 1
+    refuted = context.equivalence_verdicts["drop-predicate"]["REFUTED"]
+    assert sum(refuted.values()) == 1
+    assert set(refuted) == {Reason.REFUTED_COUNTEREXAMPLE}
     assert len(graph.top_box.predicates) == 1  # the rollback restored it
     assert canonical(rows_of(graph, empdept)) == canonical(before)
 
@@ -566,13 +861,27 @@ def test_sound_rules_never_refuted_under_paranoid(empdept):
         assert "QGM601" not in codes
 
 
-def test_workload_sweep_has_zero_refutations():
-    from repro.analysis.translation_validate import validate_workloads
+def test_workload_sweep_has_zero_refutations(tmp_path, capsys):
+    # One sweep exercises the whole CLI surface: zero REFUTED firings,
+    # the --min-verified coverage gate, and the --json breakdown.
+    import json
 
-    results = validate_workloads(scale=0.02)
-    assert results
-    assert sum(counts["REFUTED"] for _, counts, _ in results) == 0
-    assert all(not refuted for _, _, refuted in results)
+    from repro.analysis.equivalence import ALL_REASON_CODES
+    from repro.analysis.translation_validate import main
+
+    out = tmp_path / "sweep.json"
+    status = main(["--json", str(out), "--min-verified", "25"])
+    assert status == 0, capsys.readouterr().out
+    payload = json.loads(out.read_text())
+    assert payload["totals"]["REFUTED"] == 0
+    assert payload["totals"]["VERIFIED"] >= 25
+    assert payload["queries"]
+    valid = set(ALL_REASON_CODES) | {"unspecified"}
+    for statuses in payload["rule_reason_histogram"].values():
+        for codes in statuses.values():
+            assert set(codes) <= valid
+    # An unreachable floor trips the coverage gate.
+    assert main(["--min-verified", "10000"]) == 1
 
 
 def test_equivalence_opt_out_skips_validation(empdept):

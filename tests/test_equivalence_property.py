@@ -99,6 +99,16 @@ _QUERIES = [
     "SELECT c.cid, c.val FROM child c WHERE c.val = 4",
     "SELECT DISTINCT c.pid FROM child c",
     "SELECT DISTINCT c.pid FROM child c, parent p WHERE c.pid = p.pid",
+    # Interpreted comparisons: implied conjuncts, strict-vs-inclusive
+    # bounds, IN lists and provably-empty ranges.
+    "SELECT c.cid, c.val FROM child c WHERE c.val > 3",
+    "SELECT c.cid, c.val FROM child c WHERE c.val > 3 AND c.val > 1",
+    "SELECT c.cid, c.val FROM child c WHERE c.val >= 3",
+    "SELECT c.cid, c.val FROM child c WHERE c.val >= 4",
+    "SELECT c.cid, c.val FROM child c WHERE c.val IN (2, 3)",
+    "SELECT c.cid, c.val FROM child c WHERE c.val IN (3, 2)",
+    "SELECT c.cid, c.val FROM child c WHERE c.val > 5 AND c.val < 2",
+    "SELECT c.cid, c.val FROM child c WHERE c.val < 2 AND c.val > 5",
 ]
 
 
@@ -162,6 +172,40 @@ def test_verdicts_agree_with_execution(left, right, databases):
             % (left, right)
         )
     # UNKNOWN claims nothing.
+
+
+@given(databases=st.lists(satisfying_databases(), min_size=2, max_size=3))
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_interval_implication_verified_and_row_identical(databases):
+    """An implied range conjunct is VERIFIED away, and really is noise."""
+    strong = "SELECT c.cid, c.val FROM child c WHERE c.val > 3"
+    padded = (
+        "SELECT c.cid, c.val FROM child c WHERE c.val > 3 AND c.val > 1"
+    )
+    verdict = _verdict(strong, padded)
+    assert verdict.status == "VERIFIED"
+    for db in databases:
+        assert canonical(_rows(strong, db)) == canonical(_rows(padded, db))
+
+
+@given(databases=st.lists(satisfying_databases(), min_size=2, max_size=3))
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_contradictory_ranges_verified_empty_and_return_nothing(databases):
+    left = "SELECT c.cid, c.val FROM child c WHERE c.val > 5 AND c.val < 2"
+    right = "SELECT c.cid, c.val FROM child c WHERE c.val < 2 AND c.val > 5"
+    verdict = _verdict(left, right)
+    assert verdict.status == "VERIFIED"
+    assert verdict.bag
+    for db in databases:
+        assert _rows(left, db) == [] and _rows(right, db) == []
 
 
 @given(databases=st.lists(satisfying_databases(), min_size=2, max_size=3))
